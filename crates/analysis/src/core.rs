@@ -1,0 +1,179 @@
+//! Shared iteration and counting primitives used by every analysis.
+
+use std::collections::BTreeSet;
+
+use bgp_model::asn::Asn;
+use bgp_model::community::StandardCommunity;
+use bgp_model::route::Route;
+use community_dict::action::Action;
+use community_dict::dictionary::Dictionary;
+use community_dict::semantics::{Classification, Semantics};
+use looking_glass::snapshot::Snapshot;
+
+/// A snapshot paired with the dictionary of its IXP — the unit every
+/// analysis consumes (exactly the artifacts the paper's pipeline holds).
+pub struct View<'a> {
+    /// The snapshot.
+    pub snap: &'a Snapshot,
+    /// The IXP's community dictionary.
+    pub dict: &'a Dictionary,
+    members: BTreeSet<Asn>,
+}
+
+impl<'a> View<'a> {
+    /// Pair a snapshot with its dictionary.
+    pub fn new(snap: &'a Snapshot, dict: &'a Dictionary) -> Self {
+        debug_assert_eq!(snap.ixp, dict.ixp());
+        View {
+            snap,
+            dict,
+            members: snap.members.iter().copied().collect(),
+        }
+    }
+
+    /// Is `asn` connected to the RS (the §5.5 membership test)?
+    pub fn is_member(&self, asn: Asn) -> bool {
+        self.members.contains(&asn)
+    }
+
+    /// Number of members with sessions.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Iterate `(announcer, route)` pairs.
+    pub fn routes(&self) -> impl Iterator<Item = (Asn, &'a Route)> + '_ {
+        self.snap.routes.iter().map(|(a, r)| (*a, r))
+    }
+
+    /// Iterate every *standard* community instance with its
+    /// classification: `(announcer, route, community, classification)`.
+    /// Figures 3–7 and Table 2 work on standard communities only (§4).
+    pub fn standard_instances(
+        &self,
+    ) -> impl Iterator<Item = (Asn, &'a Route, StandardCommunity, Classification)> + '_ {
+        self.routes().flat_map(move |(asn, route)| {
+            route
+                .standard_communities
+                .iter()
+                .map(move |c| (asn, route, *c, self.dict.classify(*c)))
+        })
+    }
+
+    /// Iterate every IXP-defined *action* instance (standard only):
+    /// `(announcer, route, community, action)`.
+    pub fn action_instances(
+        &self,
+    ) -> impl Iterator<Item = (Asn, &'a Route, StandardCommunity, Action)> + '_ {
+        self.standard_instances()
+            .filter_map(|(asn, route, c, cl)| cl.action().map(|a| (asn, route, c, a)))
+    }
+
+    /// An action instance is *ineffective* when it targets a single AS
+    /// that has no session at this RS (§5.5).
+    pub fn is_ineffective(&self, action: &Action) -> bool {
+        match action.target.peer_asn() {
+            Some(asn) => !self.is_member(asn),
+            None => false,
+        }
+    }
+
+    /// Total standard IXP-defined instances split into
+    /// (informational, action).
+    pub fn standard_defined_split(&self) -> (u64, u64) {
+        let mut info = 0u64;
+        let mut action = 0u64;
+        for (_, _, _, cl) in self.standard_instances() {
+            match cl {
+                Classification::IxpDefined(Semantics::Informational(_)) => info += 1,
+                Classification::IxpDefined(Semantics::Action(_)) => action += 1,
+                Classification::Unknown => {}
+            }
+        }
+        (info, action)
+    }
+}
+
+/// Percentage helper: `part / whole * 100`, 0 when whole is 0.
+pub fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::prefix::Afi;
+    use community_dict::ixp::IxpId;
+    use community_dict::schemes;
+
+    fn snapshot() -> Snapshot {
+        let ixp = IxpId::Linx;
+        let mk = |pfx: &str, tagger: u32, cs: Vec<StandardCommunity>| {
+            (
+                Asn(tagger),
+                Route::builder(pfx.parse().unwrap(), "198.32.0.7".parse().unwrap())
+                    .path([tagger, 15169])
+                    .standards(cs)
+                    .build(),
+            )
+        };
+        Snapshot {
+            ixp,
+            day: 0,
+            afi: Afi::Ipv4,
+            members: vec![Asn(39120), Asn(6939)],
+            routes: vec![
+                mk(
+                    "193.0.10.0/24",
+                    39120,
+                    vec![
+                        schemes::avoid_community(ixp, Asn(6939)),  // member target
+                        schemes::avoid_community(ixp, Asn(16276)), // non-member
+                        schemes::info_community(ixp, 0),
+                        StandardCommunity::from_parts(3356, 70), // unknown
+                    ],
+                ),
+                mk("193.0.11.0/24", 6939, vec![]),
+            ],
+            partial: false,
+            failed_peers: vec![],
+        }
+    }
+
+    #[test]
+    fn instance_iteration_and_classification() {
+        let snap = snapshot();
+        let dict = schemes::dictionary(IxpId::Linx);
+        let view = View::new(&snap, &dict);
+        assert_eq!(view.standard_instances().count(), 4);
+        let actions: Vec<_> = view.action_instances().collect();
+        assert_eq!(actions.len(), 2);
+        let ineffective = actions
+            .iter()
+            .filter(|(_, _, _, a)| view.is_ineffective(a))
+            .count();
+        assert_eq!(ineffective, 1); // OVH is not a member
+        let (info, action) = view.standard_defined_split();
+        assert_eq!((info, action), (1, 2));
+    }
+
+    #[test]
+    fn membership() {
+        let snap = snapshot();
+        let dict = schemes::dictionary(IxpId::Linx);
+        let view = View::new(&snap, &dict);
+        assert!(view.is_member(Asn(6939)));
+        assert!(!view.is_member(Asn(16276)));
+        assert_eq!(view.member_count(), 2);
+    }
+
+    #[test]
+    fn pct_helper() {
+        assert_eq!(pct(1, 4), 25.0);
+        assert_eq!(pct(0, 0), 0.0);
+    }
+}

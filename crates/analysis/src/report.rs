@@ -1,0 +1,132 @@
+//! Plain-text table rendering for the `repro` binary: the same rows the
+//! paper prints, aligned for terminals.
+
+use std::fmt::Write as _;
+
+/// A renderable table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Title line printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (converting anything displayable).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let pad = w - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a count like the paper's figures: `2.98M`, `67K`, `412`.
+pub fn human_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Format a percentage with one decimal: `35.7%`.
+pub fn pct1(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo", &["IXP", "Value"]);
+        t.row(["IX.br-SP", "123"]);
+        t.row(["LINX", "4"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // the separator is as wide as the widest row
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // columns aligned: "Value" starts at the same offset in all rows
+        let col = lines[1].find("Value").unwrap();
+        assert_eq!(&lines[3][col..col + 3], "123");
+    }
+
+    #[test]
+    fn human_counts() {
+        assert_eq!(human_count(2_980_000), "2.98M");
+        assert_eq!(human_count(16_470_000), "16.5M");
+        assert_eq!(human_count(67_000), "67.0K");
+        assert_eq!(human_count(412), "412");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct1(35.68), "35.7%");
+    }
+}

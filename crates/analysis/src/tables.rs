@@ -1,0 +1,162 @@
+//! Table 1 (the IXPs in numbers) and the Appendix A stability tables
+//! (Table 3: seven daily snapshots; Table 4: twelve weekly snapshots),
+//! plus the §3 sanitation summary.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_model::prefix::Afi;
+use community_dict::ixp::IxpId;
+use looking_glass::sanitize::SeriesPoint;
+use looking_glass::snapshot::Snapshot;
+
+/// Table 1 row computed from the collected snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// IXP.
+    pub ixp: IxpId,
+    /// Location string.
+    pub location: String,
+    /// Members at the RS, IPv4 / IPv6.
+    pub members_rs: (usize, usize),
+    /// Observed distinct prefixes, IPv4 / IPv6.
+    pub prefixes: (usize, usize),
+    /// Observed routes, IPv4 / IPv6.
+    pub routes: (usize, usize),
+}
+
+/// Compute a Table 1 row from the v4 and v6 snapshots of one IXP.
+pub fn table1_row(v4: &Snapshot, v6: &Snapshot) -> Table1Row {
+    debug_assert_eq!(v4.ixp, v6.ixp);
+    Table1Row {
+        ixp: v4.ixp,
+        location: v4.ixp.location().to_string(),
+        members_rs: (v4.member_count(), v6.member_count()),
+        prefixes: (v4.prefix_count(), v6.prefix_count()),
+        routes: (v4.route_count(), v6.route_count()),
+    }
+}
+
+/// One metric's min/max/diff% over a window (the Appendix A cell format).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variation {
+    /// Minimum value in the window.
+    pub min: u64,
+    /// Maximum value in the window.
+    pub max: u64,
+}
+
+impl Variation {
+    /// Percentage difference between max and min, relative to min
+    /// (the paper's "Diff%" column).
+    pub fn diff_pct(&self) -> f64 {
+        if self.min == 0 {
+            0.0
+        } else {
+            (self.max - self.min) as f64 / self.min as f64 * 100.0
+        }
+    }
+
+    fn of(values: impl Iterator<Item = u64>) -> Variation {
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min == u64::MAX {
+            min = 0;
+        }
+        Variation { min, max }
+    }
+}
+
+/// One Appendix A row: variation of all four metrics over a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityRow {
+    /// IXP.
+    pub ixp: IxpId,
+    /// Family.
+    pub afi: Afi,
+    /// Members variation.
+    pub members: Variation,
+    /// Prefixes variation.
+    pub prefixes: Variation,
+    /// Routes variation.
+    pub routes: Variation,
+    /// Community-instances variation.
+    pub communities: Variation,
+}
+
+impl StabilityRow {
+    /// Build from a window of series points.
+    pub fn from_points(ixp: IxpId, afi: Afi, points: &[SeriesPoint]) -> StabilityRow {
+        StabilityRow {
+            ixp,
+            afi,
+            members: Variation::of(points.iter().map(|p| p.members as u64)),
+            prefixes: Variation::of(points.iter().map(|p| p.prefixes as u64)),
+            routes: Variation::of(points.iter().map(|p| p.routes as u64)),
+            communities: Variation::of(points.iter().map(|p| p.communities as u64)),
+        }
+    }
+
+    /// The largest diff% across the four metrics.
+    pub fn max_diff_pct(&self) -> f64 {
+        [
+            self.members.diff_pct(),
+            self.prefixes.diff_pct(),
+            self.routes.diff_pct(),
+            self.communities.diff_pct(),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::asn::Asn;
+
+    #[test]
+    fn variation_diff_pct() {
+        let v = Variation { min: 100, max: 104 };
+        assert!((v.diff_pct() - 4.0).abs() < 1e-12);
+        assert_eq!(Variation { min: 0, max: 5 }.diff_pct(), 0.0);
+    }
+
+    #[test]
+    fn stability_row_from_points() {
+        let points: Vec<SeriesPoint> = (0..7)
+            .map(|d| SeriesPoint {
+                day: d,
+                members: 100 + d as usize,
+                prefixes: 1000,
+                routes: 2000 + (d as usize % 2) * 40,
+                communities: 50_000,
+            })
+            .collect();
+        let row = StabilityRow::from_points(IxpId::Bcix, Afi::Ipv4, &points);
+        assert_eq!(row.members, Variation { min: 100, max: 106 });
+        assert_eq!(row.prefixes.diff_pct(), 0.0);
+        assert!((row.routes.diff_pct() - 2.0).abs() < 1e-12);
+        assert!((row.max_diff_pct() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_row_from_snapshots() {
+        let mk = |afi: Afi, n: usize| Snapshot {
+            ixp: IxpId::Netnod,
+            day: 0,
+            afi,
+            members: (0..n).map(|i| Asn(39_000 + i as u32)).collect(),
+            routes: vec![],
+            partial: false,
+            failed_peers: vec![],
+        };
+        let row = table1_row(&mk(Afi::Ipv4, 10), &mk(Afi::Ipv6, 6));
+        assert_eq!(row.members_rs, (10, 6));
+        assert_eq!(row.routes, (0, 0));
+        assert_eq!(row.location, "Stockholm, Sweden");
+    }
+}

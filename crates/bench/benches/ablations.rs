@@ -1,0 +1,179 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. `ablation_dict` — classification with the full two-source union vs
+//!    the RS-config-only dictionary (§3's discovery that the RS list is
+//!    incomplete): coverage drops, speed stays.
+//! 2. `ablation_maxcomm` — ingestion with vs without the DE-CIX "too many
+//!    communities" filter (§5.6).
+//! 3. `ablation_ineffective` — export computation with the ineffective
+//!    (non-member-target) communities present vs pre-suppressed at
+//!    ingress: the RS overhead §5.5 quantifies.
+//! 4. `ablation_lookup` — indexed vs linear dictionary lookup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bgp_model::asn::Asn;
+use bgp_model::community::StandardCommunity;
+use bgp_model::route::Route;
+use community_dict::dictionary::Dictionary;
+use community_dict::ixp::IxpId;
+use community_dict::schemes;
+use route_server::config::RsConfig;
+use route_server::server::RouteServer;
+
+const IXP: IxpId = IxpId::DeCixFra;
+
+fn sample_communities() -> Vec<StandardCommunity> {
+    (0..200u32)
+        .map(|i| match i % 3 {
+            0 => schemes::avoid_community(IXP, Asn(6000 + i)),
+            1 => schemes::info_community(IXP, i as u16),
+            _ => StandardCommunity::from_parts(3356, i as u16),
+        })
+        .collect()
+}
+
+fn classify_all(dict: &Dictionary, cs: &[StandardCommunity]) -> usize {
+    cs.iter().filter(|c| dict.classify(**c).is_ixp_defined()).count()
+}
+
+fn ablation_dict(c: &mut Criterion) {
+    let full = schemes::dictionary(IXP);
+    let rs_only = full.restricted_to(|s| s.rs_config);
+    let cs = sample_communities();
+    // correctness side of the ablation, asserted once: the union must
+    // classify at least as much as the RS config alone
+    let full_cov = classify_all(&full, &cs);
+    let rs_cov = classify_all(&rs_only, &cs);
+    assert!(full_cov >= rs_cov);
+    let mut group = c.benchmark_group("ablation_dict");
+    group.bench_function("union_774_entries", |b| {
+        b.iter(|| classify_all(black_box(&full), black_box(&cs)))
+    });
+    group.bench_function("rs_config_only", |b| {
+        b.iter(|| classify_all(black_box(&rs_only), black_box(&cs)))
+    });
+    group.finish();
+}
+
+fn heavy_route(i: u32, n_comm: u32) -> Route {
+    Route::builder(
+        format!("11.{}.{}.0/24", i / 256, i % 256).parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([40_000, 15169])
+    .standards((0..n_comm).map(|k| StandardCommunity::from_parts(3356, k as u16)))
+    .build()
+}
+
+fn ablation_maxcomm(c: &mut Criterion) {
+    // half the routes exceed the filter threshold
+    let routes: Vec<Route> = (0..200)
+        .map(|i| heavy_route(i, if i % 2 == 0 { 40 } else { 200 }))
+        .collect();
+    let mut group = c.benchmark_group("ablation_maxcomm");
+    for (name, max) in [("filter_on", Some(150)), ("filter_off", None)] {
+        let config = RsConfig::for_ixp(IXP).with_max_communities(max);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut rs = RouteServer::new(config.clone());
+                    rs.add_member(Asn(40_000), true, false);
+                    rs.add_member(Asn(6939), true, false);
+                    (rs, routes.clone())
+                },
+                |(mut rs, routes)| {
+                    for r in routes {
+                        rs.announce(Asn(40_000), r);
+                    }
+                    // the filter's payoff is on the export path
+                    black_box(rs.export_to(Asn(6939)).len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ineffective(c: &mut Criterion) {
+    // routes tagged with 30 avoid communities, all targeting non-members:
+    // pure §5.5 overhead. The suppressed variant strips them at ingress.
+    let tagged: Vec<Route> = (0..300)
+        .map(|i| {
+            Route::builder(
+                format!("11.{}.{}.0/24", i / 256, i % 256).parse().unwrap(),
+                "198.32.0.7".parse().unwrap(),
+            )
+            .path([40_000, 15169])
+            .standards((0..30u32).map(|k| schemes::avoid_community(IXP, Asn(50_000 + k))))
+            .build()
+        })
+        .collect();
+    let suppressed: Vec<Route> = tagged
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.standard_communities.clear();
+            r
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_ineffective");
+    for (name, routes) in [("with_ineffective", &tagged), ("suppressed", &suppressed)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut rs = RouteServer::for_ixp(IXP);
+                    rs.add_member(Asn(40_000), true, false);
+                    for p in 0..20u32 {
+                        rs.add_member(Asn(41_000 + p), true, false);
+                    }
+                    (rs, routes.clone())
+                },
+                |(mut rs, routes)| {
+                    for r in routes {
+                        rs.announce(Asn(40_000), r);
+                    }
+                    let mut exported = 0;
+                    for p in 0..20u32 {
+                        exported += rs.export_to(Asn(41_000 + p)).len();
+                    }
+                    black_box(exported)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn ablation_lookup(c: &mut Criterion) {
+    let dict = schemes::dictionary(IXP);
+    let cs = sample_communities();
+    let mut group = c.benchmark_group("ablation_lookup");
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            cs.iter()
+                .filter(|x| dict.classify(**x).is_ixp_defined())
+                .count()
+        })
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            cs.iter()
+                .filter(|x| dict.classify_linear(**x).is_ixp_defined())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_dict,
+    ablation_maxcomm,
+    ablation_ineffective,
+    ablation_lookup
+);
+criterion_main!(benches);

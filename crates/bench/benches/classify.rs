@@ -1,0 +1,86 @@
+//! Classification throughput: the per-community cost of the paper's
+//! analysis pipeline (dictionary lookup, route classification).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bgp_model::asn::Asn;
+use bgp_model::community::StandardCommunity;
+use bgp_model::route::Route;
+use community_dict::classify::classify_route;
+use community_dict::ixp::IxpId;
+use community_dict::schemes;
+
+fn mixed_communities() -> Vec<StandardCommunity> {
+    let ixp = IxpId::DeCixFra;
+    let mut cs = Vec::new();
+    for i in 0..100u32 {
+        cs.push(match i % 4 {
+            0 => schemes::avoid_community(ixp, Asn(6000 + i)),
+            1 => schemes::only_community(ixp, Asn(6000 + i)),
+            2 => schemes::info_community(ixp, i as u16),
+            _ => StandardCommunity::from_parts(3356, i as u16), // unknown
+        });
+    }
+    cs
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let dict = schemes::dictionary(IxpId::DeCixFra);
+    let cs = mixed_communities();
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(cs.len() as u64));
+    group.bench_function("indexed_100_mixed", |b| {
+        b.iter(|| {
+            for comm in &cs {
+                black_box(dict.classify(*comm));
+            }
+        })
+    });
+    group.bench_function("linear_100_mixed", |b| {
+        b.iter(|| {
+            for comm in &cs {
+                black_box(dict.classify_linear(*comm));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_classify_route(c: &mut Criterion) {
+    let ixp = IxpId::DeCixFra;
+    let dict = schemes::dictionary(ixp);
+    let route = Route::builder(
+        "193.0.10.0/24".parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([39120, 15169])
+    .standards((0..30u32).map(|i| schemes::avoid_community(ixp, Asn(6000 + i))))
+    .build();
+    c.bench_function("classify_route_30_communities", |b| {
+        b.iter(|| classify_route(black_box(&dict), black_box(&route)).count())
+    });
+}
+
+fn bench_dictionary_build(c: &mut Criterion) {
+    c.bench_function("build_decix_dictionary_774", |b| {
+        b.iter(|| schemes::dictionary(black_box(IxpId::DeCixFra)))
+    });
+    c.bench_function("build_union_from_sources", |b| {
+        b.iter(|| {
+            community_dict::dictionary::Dictionary::union(
+                IxpId::DeCixFra,
+                schemes::rs_config_entries(IxpId::DeCixFra),
+                schemes::website_entries(IxpId::DeCixFra),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_classify_route,
+    bench_dictionary_build
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! End-to-end pipeline: world build → LG collection → analyses — the
+//! full §3/§5 machinery at a small scale, as one number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use analysis::prelude::*;
+use bench::standard_scenario;
+use bgp_model::prefix::Afi;
+use community_dict::ixp::IxpId;
+use ixp_sim::timeline::{generate_series, TimelineConfig};
+use ixp_sim::world::{build_ixp, WorldConfig};
+
+fn bench_world_build(c: &mut Criterion) {
+    c.bench_function("build_linx_world_scale_0.02", |b| {
+        b.iter(|| {
+            build_ixp(
+                IxpId::Linx,
+                &WorldConfig {
+                    seed: 7,
+                    scale: 0.02,
+                },
+            )
+        })
+    });
+}
+
+fn bench_collection(c: &mut Criterion) {
+    c.bench_function("scenario_netnod_scale_0.02", |b| {
+        b.iter(|| standard_scenario(7, 0.02, &[IxpId::Netnod]))
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let (store, dicts) = standard_scenario(7, 0.05, &[IxpId::Linx]);
+    let snap = store.latest(IxpId::Linx, Afi::Ipv4).unwrap();
+    let dict = &dicts[0];
+    c.bench_function("all_figures_one_snapshot", |b| {
+        b.iter(|| {
+            let view = View::new(snap, dict);
+            black_box((
+                fig1(&view),
+                fig3(&view),
+                fig4a(&view),
+                table2(&view),
+                ineffective(&view),
+            ))
+        })
+    });
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    c.bench_function("timeline_series_84_days", |b| {
+        b.iter(|| generate_series(IxpId::DeCixFra, Afi::Ipv4, &TimelineConfig::default()))
+    });
+    let series = generate_series(IxpId::DeCixFra, Afi::Ipv4, &TimelineConfig::default());
+    c.bench_function("sanitize_84_days", |b| b.iter(|| series.sanitized().len()));
+}
+
+criterion_group!(
+    benches,
+    bench_world_build,
+    bench_collection,
+    bench_analyses,
+    bench_timeline
+);
+criterion_main!(benches);

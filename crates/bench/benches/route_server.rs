@@ -1,0 +1,90 @@
+//! Route-server costs: ingestion (filter + tag + policy digest) and
+//! per-peer export computation — the overheads §5.5/§5.6 worry about.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bgp_model::asn::Asn;
+use bgp_model::route::Route;
+use bgp_wire::convert::routes_to_update;
+use community_dict::ixp::IxpId;
+use community_dict::schemes;
+use route_server::server::RouteServer;
+
+const IXP: IxpId = IxpId::DeCixFra;
+
+fn server_with_members(n: u32) -> RouteServer {
+    let mut rs = RouteServer::for_ixp(IXP);
+    for i in 0..n {
+        rs.add_member(Asn(40_000 + i), true, false);
+    }
+    rs.add_member(Asn(6939), true, false);
+    rs
+}
+
+fn tagged_route(i: u32, n_actions: u32) -> Route {
+    Route::builder(
+        format!("11.{}.{}.0/24", i / 256, i % 256).parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([40_000 + (i % 50), 15169])
+    .standards((0..n_actions).map(|k| schemes::avoid_community(IXP, Asn(41_000 + k))))
+    .build()
+}
+
+fn bench_announce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_announce");
+    for n_actions in [0u32, 10, 40] {
+        let routes: Vec<Route> = (0..500).map(|i| tagged_route(i, n_actions)).collect();
+        group.throughput(Throughput::Elements(routes.len() as u64));
+        group.bench_function(format!("500_routes_{n_actions}_actions"), |b| {
+            b.iter_batched(
+                || (server_with_members(50), routes.clone()),
+                |(mut rs, routes)| {
+                    for (i, r) in routes.into_iter().enumerate() {
+                        rs.announce(Asn(40_000 + (i as u32 % 50)), r);
+                    }
+                    black_box(rs.stats().routes_accepted)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_wire(c: &mut Criterion) {
+    let routes: Vec<Route> = (0..100).map(|i| tagged_route(i, 10)).collect();
+    let updates: Vec<_> = routes
+        .iter()
+        .map(|r| routes_to_update(std::slice::from_ref(r)))
+        .collect();
+    c.bench_function("rs_ingest_100_wire_updates", |b| {
+        b.iter_batched(
+            || server_with_members(50),
+            |mut rs| {
+                for (i, u) in updates.iter().enumerate() {
+                    rs.ingest_update(Asn(40_000 + (i as u32 % 50)), u).unwrap();
+                }
+                black_box(rs.stats().updates_processed)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_export(c: &mut Criterion) {
+    let mut rs = server_with_members(50);
+    for i in 0..1000u32 {
+        rs.announce(Asn(40_000 + (i % 50)), tagged_route(i, 10));
+    }
+    c.bench_function("rs_export_to_one_peer_1k_routes", |b| {
+        b.iter(|| {
+            let mut rs = rs.clone();
+            black_box(rs.export_to(Asn(6939)).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_announce, bench_ingest_wire, bench_export);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Wire-codec throughput: BGP UPDATE encode/decode and MRT snapshot
+//! round-trips — the per-message costs behind the paper's data plane.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bgp_model::asn::Asn;
+use bgp_model::community::StandardCommunity;
+use bgp_model::route::Route;
+use bgp_wire::convert::{routes_to_update, update_to_routes};
+use bgp_wire::message::Message;
+use bgp_wire::mrt::MrtRibDump;
+use bytes::BytesMut;
+
+fn sample_route(n_communities: u16) -> Route {
+    Route::builder(
+        "193.0.10.0/24".parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([39120, 15169])
+    .standards((0..n_communities).map(|i| StandardCommunity::from_parts(0, 1000 + i)))
+    .build()
+}
+
+fn bench_update_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_codec");
+    for n_comm in [0u16, 10, 50] {
+        let route = sample_route(n_comm);
+        let update = routes_to_update(std::slice::from_ref(&route));
+        let wire = Message::Update(update.clone()).encode().unwrap();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(format!("encode_{n_comm}_communities"), |b| {
+            b.iter(|| Message::Update(black_box(update.clone())).encode().unwrap())
+        });
+        group.bench_function(format!("decode_{n_comm}_communities"), |b| {
+            b.iter_batched(
+                || BytesMut::from(&wire[..]),
+                |mut buf| Message::decode(black_box(&mut buf)).unwrap().unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_to_routes(c: &mut Criterion) {
+    let routes: Vec<Route> = (0..100u16)
+        .map(|i| {
+            Route::builder(
+                format!("193.{}.{}.0/24", i / 250, i % 250).parse().unwrap(),
+                "198.32.0.7".parse().unwrap(),
+            )
+            .path([39120, 15169])
+            .standard(StandardCommunity::from_parts(0, 6939))
+            .build()
+        })
+        .collect();
+    let update = routes_to_update(&routes);
+    c.bench_function("update_to_routes_100_nlri", |b| {
+        b.iter(|| update_to_routes(black_box(&update)).unwrap())
+    });
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let routes: Vec<Route> = (0..1000u32)
+        .map(|i| {
+            Route::builder(
+                format!("11.{}.{}.0/24", i / 256, i % 256).parse().unwrap(),
+                "198.32.0.7".parse().unwrap(),
+            )
+            .path([39120 + (i % 7), 15169])
+            .standard(StandardCommunity::from_parts(0, 6939))
+            .build()
+        })
+        .collect();
+    let dump = MrtRibDump::from_routes(
+        0,
+        routes.iter().map(|r| (r.as_path.first_asn().unwrap_or(Asn(1)), r)),
+    );
+    let wire = dump.encode().unwrap();
+    let mut group = c.benchmark_group("mrt");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("encode_1k_routes", |b| b.iter(|| dump.encode().unwrap()));
+    group.bench_function("decode_1k_routes", |b| {
+        b.iter(|| MrtRibDump::decode(black_box(wire.clone())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_codec, bench_update_to_routes, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,766 @@
+//! `repro` — regenerate every table and figure of the paper from the
+//! synthetic world, printing measured values side by side with the
+//! paper's published numbers.
+//!
+//! ```text
+//! repro [--scale 0.1] [--seed 29360094] [--all-ixps] [--csv DIR] [EXPERIMENT...]
+//! ```
+//!
+//! With `--csv DIR`, every figure additionally writes its data series as
+//! a CSV file under DIR — the exact numbers behind each plot. With
+//! `--json FILE`, the complete evaluation ([`analysis::summary`]) is
+//! written as one JSON document.
+//!
+//! Experiments: `table1 fig1 fig2 fig3 fig4a fig4b fig4c table2
+//! type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation`
+//! or `all` (default).
+
+use bgp_model::prefix::Afi;
+use community_dict::action::ActionGroup;
+use community_dict::dictionary::Dictionary;
+use community_dict::ixp::IxpId;
+use community_dict::known;
+
+use analysis::prelude::*;
+use bench::{paper, standard_scenario, AFIS};
+use ixp_sim::timeline::{generate_all, TimelineConfig};
+use looking_glass::snapshot::{Snapshot, SnapshotStore};
+
+struct Ctx {
+    store: SnapshotStore,
+    dicts: Vec<(IxpId, Dictionary)>,
+    ixps: Vec<IxpId>,
+    seed: u64,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Ctx {
+    fn view(&self, ixp: IxpId, afi: Afi) -> Option<(View<'_>, &Snapshot)> {
+        let snap = self.store.latest(ixp, afi)?;
+        let dict = &self.dicts.iter().find(|(i, _)| *i == ixp)?.1;
+        Some((View::new(snap, dict), snap))
+    }
+
+    /// Write one figure's data series as CSV under --csv DIR.
+    fn csv(&self, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+        let Some(dir) = &self.csv_dir else { return };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("csv: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let mut out = headers.join(",");
+        out.push('\n');
+        for row in rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&escaped.join(","));
+            out.push('\n');
+        }
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("csv: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("csv: wrote {}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.1f64;
+    let mut seed = 0x1C0FFEEu64;
+    let mut ixps: Vec<IxpId> = IxpId::BIG_FOUR.to_vec();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut json_out: Option<std::path::PathBuf> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().expect("--scale N").parse().expect("scale"),
+            "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--all-ixps" => ixps = IxpId::ALL.to_vec(),
+            "--csv" => csv_dir = Some(std::path::PathBuf::from(it.next().expect("--csv DIR"))),
+            "--json" => json_out = Some(std::path::PathBuf::from(it.next().expect("--json FILE"))),
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale F] [--seed N] [--all-ixps] [--csv DIR] [--json FILE] [EXPERIMENT...]\n\
+                     experiments: table1 fig1 fig2 fig3 fig4a fig4b fig4c table2 \
+                     type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation overlap all"
+                );
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "table2",
+            "type-counts",
+            "fig5",
+            "fig6",
+            "ineffective",
+            "fig7",
+            "table3",
+            "table4",
+            "sanitation",
+            "overlap",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let needs_world = experiments
+        .iter()
+        .any(|e| !matches!(e.as_str(), "table3" | "table4" | "sanitation"));
+    // (the overlap analysis also needs the world)
+    let ctx = if needs_world {
+        eprintln!("building world (scale {scale}, seed {seed}, {} IXPs)...", ixps.len());
+        let (store, dicts) = standard_scenario(seed, scale, &ixps);
+        Ctx {
+            store,
+            dicts: ixps.iter().copied().zip(dicts).collect(),
+            ixps: ixps.clone(),
+            seed,
+            csv_dir: csv_dir.clone(),
+        }
+    } else {
+        Ctx {
+            store: SnapshotStore::new(),
+            dicts: Vec::new(),
+            ixps: ixps.clone(),
+            seed,
+            csv_dir: csv_dir.clone(),
+        }
+    };
+
+    if let Some(path) = &json_out {
+        // the machine-readable counterpart: every analysis, one JSON file
+        let report = analysis::summary::full_report(
+            &ctx.store,
+            &ctx.dicts,
+        );
+        match serde_json::to_vec_pretty(&report) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(path, bytes) {
+                    eprintln!("json: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("json: wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("json: encode failed: {e}"),
+        }
+    }
+
+    for e in &experiments {
+        match e.as_str() {
+            "table1" => run_table1(&ctx),
+            "fig1" => run_fig1(&ctx),
+            "fig2" => run_fig2(&ctx),
+            "fig3" => run_fig3(&ctx),
+            "fig4a" => run_fig4a(&ctx),
+            "fig4b" => run_fig4b(&ctx),
+            "fig4c" => run_fig4c(&ctx),
+            "table2" => run_table2(&ctx),
+            "type-counts" => run_type_counts(&ctx),
+            "fig5" => run_fig5(&ctx),
+            "fig6" => run_fig6(&ctx),
+            "ineffective" => run_ineffective(&ctx),
+            "fig7" => run_fig7(&ctx),
+            "table3" => run_table3(&ctx),
+            "table4" => run_table4(&ctx),
+            "sanitation" => run_sanitation(&ctx),
+            "overlap" => run_overlap(&ctx),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn run_table1(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Table 1 — the IXPs in numbers (latest snapshot, scaled world)",
+        &[
+            "IXP", "Location", "MembRS-v4", "MembRS-v6", "Pfx-v4", "Pfx-v6", "Routes-v4",
+            "Routes-v6",
+        ],
+    );
+    for ixp in &ctx.ixps {
+        let (Some(v4), Some(v6)) = (
+            ctx.store.latest(*ixp, Afi::Ipv4),
+            ctx.store.latest(*ixp, Afi::Ipv6),
+        ) else {
+            continue;
+        };
+        let row = table1_row(v4, v6);
+        t.row([
+            ixp.short_name().to_string(),
+            row.location.clone(),
+            row.members_rs.0.to_string(),
+            row.members_rs.1.to_string(),
+            row.prefixes.0.to_string(),
+            row.prefixes.1.to_string(),
+            row.routes.0.to_string(),
+            row.routes.1.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn run_fig1(ctx: &Ctx) {
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut t = TextTable::new(
+        "Fig. 1 — IXP-defined vs unknown communities",
+        &["IXP", "AFI", "Total", "Defined%", "Unknown%", "Paper(def/unk v4)"],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let f = fig1(&view);
+            let paper = if afi == Afi::Ipv4 {
+                paper::fig1_v4(*ixp)
+                    .map(|(d, u)| format!("{d:.1}/{u:.1}"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                human_count(f.total),
+                pct1(f.defined_pct()),
+                pct1(f.unknown_pct()),
+                paper,
+            ]);
+            csv_rows.push(vec![
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                f.total.to_string(),
+                f.ixp_defined.to_string(),
+                f.unknown.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    ctx.csv(
+        "fig1_defined_vs_unknown",
+        &["ixp", "afi", "total", "defined", "unknown"],
+        &csv_rows,
+    );
+}
+
+fn run_fig2(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Fig. 2 — community types among IXP-defined",
+        &["IXP", "AFI", "Defined", "Std%", "Ext%", "Large%", "Paper std% (v4)"],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let f = fig2(&view);
+            let paper = if afi == Afi::Ipv4 {
+                paper::fig2_standard_v4(*ixp)
+                    .map(|p| format!("{p:.1}"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                human_count(f.total_defined),
+                pct1(f.standard_pct()),
+                pct1(f.extended_pct()),
+                pct1(f.large_pct()),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn run_fig3(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Fig. 3 — action vs informational (standard, IXP-defined)",
+        &["IXP", "AFI", "Total", "Action%", "Info%", "Paper(action/info v4)"],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let f = fig3(&view);
+            let paper = if afi == Afi::Ipv4 {
+                paper::fig3_v4(*ixp)
+                    .map(|(a, i)| format!("{a:.1}/{i:.1}"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                human_count(f.total),
+                pct1(f.action_pct()),
+                pct1(f.informational_pct()),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn run_fig4a(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Fig. 4a — ASes and routes using action communities",
+        &[
+            "IXP", "AFI", "ASes", "ASes%", "Routes", "Routes%", "Paper(ASes% v4/v6, routes% v4)",
+        ],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let f = fig4a(&view);
+            let paper = if afi == Afi::Ipv4 {
+                paper::fig4a(*ixp)
+                    .map(|(a4, a6, r4)| format!("{a4:.1}/{a6:.1}, {r4:.1}"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                f.ases_using_actions.to_string(),
+                pct1(f.ases_pct()),
+                human_count(f.routes_with_actions as u64),
+                pct1(f.routes_pct()),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn run_fig4b(ctx: &Ctx) {
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut t = TextTable::new(
+        "Fig. 4b — skew of action-community usage across ASes (IPv4)",
+        &["IXP", "Total", "Top1%", "Top10%", "Bottom90%", "Paper top1% (v4)"],
+    );
+    for ixp in &ctx.ixps {
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let f = fig4b(&view);
+        let paper = paper::fig4b_top1pct(*ixp)
+            .map(|p| format!("~{:.0}%", p * 100.0))
+            .unwrap_or_default();
+        t.row([
+            ixp.short_name().to_string(),
+            human_count(f.total_instances),
+            format!("{:.1}%", f.share_of_top(0.01) * 100.0),
+            format!("{:.1}%", f.share_of_top(0.10) * 100.0),
+            format!("{:.1}%", (1.0 - f.share_of_top(0.10)) * 100.0),
+            paper,
+        ]);
+        for (frac_ases, frac_comm) in f.curve() {
+            csv_rows.push(vec![
+                ixp.short_name().to_string(),
+                format!("{frac_ases:.6}"),
+                format!("{frac_comm:.6}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    ctx.csv(
+        "fig4b_cumulative_curve",
+        &["ixp", "fraction_of_ases", "fraction_of_action_communities"],
+        &csv_rows,
+    );
+}
+
+fn run_fig4c(ctx: &Ctx) {
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut t = TextTable::new(
+        "Fig. 4c — correlation between route share and action share (IPv4)",
+        &["IXP", "ASes", "log-corr", "UpperLeft", "BottomRight", "Paper"],
+    );
+    for ixp in &ctx.ixps {
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let f = fig4c(&view);
+        let (ul, br) = f.asymmetry();
+        t.row([
+            ixp.short_name().to_string(),
+            f.points.len().to_string(),
+            format!("{:.3}", f.log_correlation()),
+            ul.to_string(),
+            br.to_string(),
+            "diagonal; UL only".to_string(),
+        ]);
+        for (asn, frac_comm, frac_routes) in &f.points {
+            csv_rows.push(vec![
+                ixp.short_name().to_string(),
+                asn.value().to_string(),
+                format!("{frac_comm:.8}"),
+                format!("{frac_routes:.8}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    ctx.csv(
+        "fig4c_scatter",
+        &["ixp", "asn", "fraction_of_action_communities", "fraction_of_routes"],
+        &csv_rows,
+    );
+}
+
+fn run_table2(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Table 2 — ASes using each action type",
+        &[
+            "IXP", "AFI", "DoNotAnnounce", "AnnounceOnly", "Prepend", "Blackhole",
+            "Paper % (v4)",
+        ],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let tb = table2(&view);
+            let cell = |g: ActionGroup| format!("{} ({})", tb.count(g), pct1(tb.pct(g)));
+            let paper = if afi == Afi::Ipv4 {
+                paper::table2_v4(*ixp)
+                    .map(|(a, b, c, d)| format!("{a:.1}/{b:.1}/{c:.1}/{d:.1}"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                cell(ActionGroup::DoNotAnnounceTo),
+                cell(ActionGroup::AnnounceOnlyTo),
+                cell(ActionGroup::PrependTo),
+                cell(ActionGroup::Blackhole),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn run_type_counts(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "§5.3 — action instances per type",
+        &["IXP", "AFI", "Total", "Avoid%", "Only%", "Prepend%", "Blackhole%"],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let tc = type_counts(&view);
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                human_count(tc.total),
+                pct1(tc.pct(ActionGroup::DoNotAnnounceTo)),
+                pct1(tc.pct(ActionGroup::AnnounceOnlyTo)),
+                pct1(tc.pct(ActionGroup::PrependTo)),
+                pct1(tc.pct(ActionGroup::Blackhole)),
+            ]);
+        }
+    }
+    let (a, b, c, d) = paper::TYPE_MIX_V4;
+    println!("{}", t.render());
+    println!("paper IPv4 ranges: avoid {a}, only {b}, prepend {c}, blackhole {d}\n");
+}
+
+fn run_fig5(ctx: &Ctx) {
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for ixp in &ctx.ixps {
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let f = fig5(&view);
+        let mut t = TextTable::new(
+            format!(
+                "Fig. 5 — top-20 action communities at {} (IPv4, total {})",
+                ixp.short_name(),
+                human_count(f.total_in_scope)
+            ),
+            &["#", "Community", "Meaning", "Count", "Share"],
+        );
+        for (i, r) in f.top.iter().enumerate() {
+            t.row([
+                (i + 1).to_string(),
+                r.community.to_string(),
+                r.label.clone(),
+                r.count.to_string(),
+                pct1(r.share_pct),
+            ]);
+            csv_rows.push(vec![
+                ixp.short_name().to_string(),
+                (i + 1).to_string(),
+                r.community.to_string(),
+                r.label.clone(),
+                r.count.to_string(),
+                format!("{:.4}", r.share_pct),
+            ]);
+        }
+        println!("{}", t.render());
+        if let Some((label, share)) = paper::fig5_top_v4(*ixp) {
+            println!("paper top: \"{label}\" at {share}%\n");
+        }
+    }
+    ctx.csv(
+        "fig5_top20_communities",
+        &["ixp", "rank", "community", "meaning", "count", "share_pct"],
+        &csv_rows,
+    );
+}
+
+fn run_fig6(ctx: &Ctx) {
+    for ixp in &ctx.ixps {
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let f = fig6(&view);
+        let mut t = TextTable::new(
+            format!(
+                "Fig. 6 — top-20 action communities targeting non-RS members at {} (IPv4, total {})",
+                ixp.short_name(),
+                human_count(f.total_in_scope)
+            ),
+            &["#", "Community", "Meaning", "Count", "Share of all actions"],
+        );
+        for (i, r) in f.top.iter().take(20).enumerate() {
+            t.row([
+                (i + 1).to_string(),
+                r.community.to_string(),
+                r.label.clone(),
+                r.count.to_string(),
+                pct1(r.share_pct),
+            ]);
+        }
+        println!("{}", t.render());
+        if let Some(n) = paper::fig6_in_top20_v4(*ixp) {
+            println!("paper: {n} of the top-20 target non-members (IPv4)\n");
+        }
+    }
+}
+
+fn run_ineffective(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "§5.5 — action communities targeting ASes not at the RS",
+        &["IXP", "AFI", "Actions", "Ineffective", "Share", "Paper share"],
+    );
+    for ixp in &ctx.ixps {
+        for afi in AFIS {
+            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let i = ineffective(&view);
+            let paper = match afi {
+                Afi::Ipv4 => paper::ineffective_v4(*ixp),
+                Afi::Ipv6 => paper::ineffective_v6(*ixp),
+            }
+            .map(|p| format!("{p:.1}%"))
+            .unwrap_or_default();
+            t.row([
+                ixp.short_name().to_string(),
+                afi.to_string(),
+                human_count(i.total_actions),
+                human_count(i.ineffective),
+                pct1(i.pct()),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn run_fig7(ctx: &Ctx) {
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for ixp in &ctx.ixps {
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let f = fig7(&view, 10);
+        let mut t = TextTable::new(
+            format!(
+                "Fig. 7 — top-10 ASes tagging non-RS-member targets at {} (IPv4, total {})",
+                ixp.short_name(),
+                human_count(f.total_ineffective)
+            ),
+            &["#", "AS", "Name", "Count", "Share"],
+        );
+        for (i, c) in f.top.iter().enumerate() {
+            t.row([
+                (i + 1).to_string(),
+                c.asn.to_string(),
+                c.name.clone(),
+                c.count.to_string(),
+                pct1(c.share_pct),
+            ]);
+            csv_rows.push(vec![
+                ixp.short_name().to_string(),
+                (i + 1).to_string(),
+                c.asn.value().to_string(),
+                c.name.clone(),
+                c.count.to_string(),
+                format!("{:.4}", c.share_pct),
+            ]);
+        }
+        println!("{}", t.render());
+        let he = f
+            .top
+            .iter()
+            .find(|c| c.asn == ixp_sim::universe::asns::HE)
+            .map(|c| c.share_pct)
+            .unwrap_or(0.0);
+        let (lo, hi) = paper::FIG7_HE_SHARE_RANGE;
+        println!("Hurricane Electric share: {he:.1}% (paper: {lo}–{hi}% across the big four)\n");
+    }
+    ctx.csv(
+        "fig7_top10_culprits",
+        &["ixp", "rank", "asn", "name", "count", "share_pct"],
+        &csv_rows,
+    );
+}
+
+fn timeline_series(ctx: &Ctx) -> Vec<ixp_sim::timeline::Series> {
+    generate_all(&TimelineConfig {
+        seed: ctx.seed,
+        ..TimelineConfig::default()
+    })
+}
+
+fn run_table3(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Table 3 — variation across seven daily snapshots (last clean week)",
+        &[
+            "IXP", "AFI", "Memb min–max (diff%)", "Pfx diff%", "Routes diff%", "Comm diff%",
+        ],
+    );
+    for s in timeline_series(ctx) {
+        let row = StabilityRow::from_points(s.ixp, s.afi, &s.last_week());
+        t.row([
+            s.ixp.short_name().to_string(),
+            s.afi.to_string(),
+            format!(
+                "{}–{} ({:.2}%)",
+                row.members.min,
+                row.members.max,
+                row.members.diff_pct()
+            ),
+            format!("{:.2}%", row.prefixes.diff_pct()),
+            format!("{:.2}%", row.routes.diff_pct()),
+            format!("{:.2}%", row.communities.diff_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: the highest weekly difference was 3.91% (AMS-IX v4 communities)\n");
+}
+
+fn run_table4(ctx: &Ctx) {
+    let mut t = TextTable::new(
+        "Table 4 — variation across twelve weekly snapshots",
+        &[
+            "IXP", "AFI", "Memb min–max (diff%)", "Pfx diff%", "Routes diff%", "Comm diff%",
+        ],
+    );
+    for s in timeline_series(ctx) {
+        let row = StabilityRow::from_points(s.ixp, s.afi, &s.weekly());
+        t.row([
+            s.ixp.short_name().to_string(),
+            s.afi.to_string(),
+            format!(
+                "{}–{} ({:.2}%)",
+                row.members.min,
+                row.members.max,
+                row.members.diff_pct()
+            ),
+            format!("{:.2}%", row.prefixes.diff_pct()),
+            format!("{:.2}%", row.routes.diff_pct()),
+            format!("{:.2}%", row.communities.diff_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: median min-max difference 5.31%; highest 18.03% (DE-CIX-Mad v4 communities)\n");
+}
+
+fn run_sanitation(ctx: &Ctx) {
+    let series = timeline_series(ctx);
+    let total_days: usize = series.iter().map(|s| s.points.len()).sum();
+    let mut removed = 0usize;
+    let mut caught = 0usize;
+    let mut injected = 0usize;
+    for s in &series {
+        let clean = s.sanitized();
+        let removed_days: Vec<u32> = s
+            .points
+            .iter()
+            .map(|p| p.day)
+            .filter(|d| !clean.iter().any(|p| p.day == *d))
+            .collect();
+        removed += removed_days.len();
+        injected += s.injected_outages.len();
+        caught += s
+            .injected_outages
+            .iter()
+            .filter(|d| removed_days.contains(d))
+            .count();
+    }
+    let mut t = TextTable::new("§3 — snapshot sanitation (valley detection)", &["Metric", "Value"]);
+    t.row(["snapshots inspected", &total_days.to_string()]);
+    t.row(["snapshots removed", &removed.to_string()]);
+    t.row([
+        "removed fraction",
+        &format!("{:.1}%", removed as f64 / total_days as f64 * 100.0),
+    ]);
+    t.row(["injected outages", &injected.to_string()]);
+    t.row([
+        "outages caught",
+        &format!("{caught} ({:.1}%)", caught as f64 / injected.max(1) as f64 * 100.0),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "paper: removed 169 snapshots (= {:.1}%)\n",
+        paper::SANITATION_REMOVED_PCT
+    );
+    let _ = known::name_of; // keep the import meaningful for future columns
+}
+
+fn run_overlap(ctx: &Ctx) {
+    // §5.4: intersections of the top-20 avoid targets across IXPs
+    let views: Vec<View<'_>> = ctx
+        .ixps
+        .iter()
+        .filter_map(|ixp| ctx.view(*ixp, Afi::Ipv4).map(|(v, _)| v))
+        .collect();
+    let ov = analysis::overlap::target_overlap(&views);
+    let mut t = TextTable::new(
+        "§5.4 — cross-IXP intersection of top-20 avoid targets (IPv4)",
+        &["Pair", "Shared targets"],
+    );
+    for i in 0..ctx.ixps.len() {
+        for j in (i + 1)..ctx.ixps.len() {
+            let shared = ov.pairwise(ctx.ixps[i], ctx.ixps[j]);
+            let names: Vec<String> = shared.iter().map(|a| known::name_of(*a)).collect();
+            t.row([
+                format!("{} ∩ {}", ctx.ixps[i].short_name(), ctx.ixps[j].short_name()),
+                format!("{}: {}", shared.len(), names.join(", ")),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    let common = ov.common_names();
+    println!(
+        "common across all {}: {} targets: {}",
+        ctx.ixps.len(),
+        common.len(),
+        common.join(", ")
+    );
+    println!("paper: six common avoided ASes across the big four (IPv4), incl. Google, LeaseWeb, Akamai, OVHcloud\n");
+}

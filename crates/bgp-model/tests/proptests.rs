@@ -1,0 +1,151 @@
+//! Property-based tests for the core data model invariants.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bgp_model::prelude::*;
+use proptest::prelude::*;
+
+fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap()
+    })
+}
+
+fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| {
+        Prefix::new(IpAddr::V6(Ipv6Addr::from(bits)), len).unwrap()
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![arb_prefix_v4(), arb_prefix_v6()]
+}
+
+fn arb_aspath() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(1u32..400_000, 1..8)
+        .prop_map(|v| AsPath::from_sequence(v.into_iter().map(Asn)))
+}
+
+proptest! {
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn prefix_canonical_idempotent(p in arb_prefix()) {
+        // re-canonicalizing an already-canonical prefix changes nothing
+        let again = Prefix::new(p.addr(), p.len()).unwrap();
+        prop_assert_eq!(again, p);
+    }
+
+    #[test]
+    fn prefix_contains_reflexive(p in arb_prefix()) {
+        prop_assert!(p.contains(&p));
+    }
+
+    #[test]
+    fn prefix_containment_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn prefix_contains_implies_shorter(a in arb_prefix(), b in arb_prefix()) {
+        if a.contains(&b) {
+            prop_assert!(a.len() <= b.len());
+            prop_assert_eq!(a.afi(), b.afi());
+        }
+    }
+
+    #[test]
+    fn standard_community_parts_roundtrip(hi in any::<u16>(), lo in any::<u16>()) {
+        let c = StandardCommunity::from_parts(hi, lo);
+        prop_assert_eq!(c.high(), hi);
+        prop_assert_eq!(c.low(), lo);
+        let parsed: StandardCommunity = c.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn large_community_text_roundtrip(g in any::<u32>(), a in any::<u32>(), b in any::<u32>()) {
+        let c = LargeCommunity::new(g, a, b);
+        let parsed: LargeCommunity = c.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn extended_two_octet_kind_roundtrip(st in any::<u8>(), asn in any::<u16>(), local in any::<u32>()) {
+        let e = ExtendedCommunity::two_octet_as(st, asn, local);
+        match e.kind() {
+            bgp_model::community::ExtendedKind::TwoOctetAsSpecific { subtype, asn: a, local: l, transitive } => {
+                prop_assert!(transitive);
+                prop_assert_eq!(subtype, st);
+                prop_assert_eq!(a, Asn(asn as u32));
+                prop_assert_eq!(l, local);
+            }
+            k => prop_assert!(false, "unexpected kind {:?}", k),
+        }
+    }
+
+    #[test]
+    fn aspath_prepend_extends_length(p in arb_aspath(), asn in 1u32..100_000, n in 1usize..6) {
+        let q = p.prepend(Asn(asn), n);
+        prop_assert_eq!(q.path_len(), p.path_len() + n);
+        prop_assert_eq!(q.first_asn(), Some(Asn(asn)));
+        // origin unchanged by prepending
+        prop_assert_eq!(q.origin_asn(), p.origin_asn());
+    }
+
+    #[test]
+    fn aspath_prepend_preserves_contains(p in arb_aspath(), asn in 1u32..100_000) {
+        let q = p.prepend(Asn(asn), 2);
+        prop_assert!(q.contains(Asn(asn)));
+        for a in p.iter_asns() {
+            prop_assert!(q.contains(a));
+        }
+    }
+
+    #[test]
+    fn community_serde_roundtrip(hi in any::<u16>(), lo in any::<u16>(), g in any::<u32>()) {
+        let cs = vec![
+            Community::Standard(StandardCommunity::from_parts(hi, lo)),
+            Community::Large(LargeCommunity::new(g, hi as u32, lo as u32)),
+            Community::Extended(ExtendedCommunity::two_octet_as(2, hi, g)),
+        ];
+        let js = serde_json::to_string(&cs).unwrap();
+        let back: Vec<Community> = serde_json::from_str(&js).unwrap();
+        prop_assert_eq!(back, cs);
+    }
+
+    #[test]
+    fn rib_announce_then_withdraw_is_noop(p in arb_prefix(), origin in 1u32..100_000) {
+        let mut rib = PeerRib::new();
+        let nh: IpAddr = "198.32.0.9".parse().unwrap();
+        let route = Route::builder(p, nh).path([origin]).build();
+        rib.announce(route);
+        prop_assert_eq!(rib.len(), 1);
+        rib.withdraw(&p);
+        prop_assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn rib_replace_keeps_single_entry(p in arb_prefix(), o1 in 1u32..100_000, o2 in 1u32..100_000) {
+        let mut rib = PeerRib::new();
+        let nh: IpAddr = "198.32.0.9".parse().unwrap();
+        rib.announce(Route::builder(p, nh).path([o1]).build());
+        rib.announce(Route::builder(p, nh).path([o2]).build());
+        prop_assert_eq!(rib.len(), 1);
+        prop_assert_eq!(rib.get(&p).unwrap().origin_asn(), Some(Asn(o2)));
+    }
+
+    #[test]
+    fn asn_parse_display_roundtrip(v in any::<u32>()) {
+        let a = Asn(v);
+        let parsed: Asn = a.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+}

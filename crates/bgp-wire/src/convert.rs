@@ -1,0 +1,298 @@
+//! Conversions between the wire [`UpdateMessage`] and the model
+//! [`Route`].
+//!
+//! One UPDATE can announce many prefixes sharing one attribute set; the
+//! decomposition here produces one [`Route`] per announced prefix, which is
+//! the granularity the route server and the paper's snapshots use.
+
+use std::net::IpAddr;
+
+use bgp_model::prefix::{Afi, Prefix};
+use bgp_model::route::Route;
+
+use crate::attrs::{code, MpReach, PathAttribute};
+use crate::error::WireError;
+use crate::message::UpdateMessage;
+
+/// What one UPDATE message means, in model terms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateContent {
+    /// Routes announced (IPv4 NLRI and MP_REACH combined).
+    pub announced: Vec<Route>,
+    /// Prefixes withdrawn (IPv4 withdrawn field and MP_UNREACH combined).
+    pub withdrawn: Vec<Prefix>,
+}
+
+/// Decompose an UPDATE into announced routes and withdrawn prefixes.
+///
+/// Returns an error if announcements are present without the mandatory
+/// ORIGIN / AS_PATH / next-hop attributes (RFC 4271 §6.3).
+pub fn update_to_routes(update: &UpdateMessage) -> Result<UpdateContent, WireError> {
+    let mut content = UpdateContent {
+        announced: Vec::new(),
+        withdrawn: update.withdrawn.clone(),
+    };
+
+    let mut origin = None;
+    let mut as_path = None;
+    let mut next_hop_v4 = None;
+    let mut med = None;
+    let mut standard = Vec::new();
+    let mut extended = Vec::new();
+    let mut large = Vec::new();
+    let mut mp_reach: Option<&MpReach> = None;
+
+    for attr in &update.attributes {
+        match attr {
+            PathAttribute::Origin(o) => origin = Some(*o),
+            PathAttribute::AsPath(p) => as_path = Some(p.clone()),
+            PathAttribute::NextHop(nh) => next_hop_v4 = Some(IpAddr::V4(*nh)),
+            PathAttribute::Med(m) => med = Some(*m),
+            PathAttribute::Communities(cs) => standard = cs.clone(),
+            PathAttribute::ExtendedCommunities(cs) => extended = cs.clone(),
+            PathAttribute::LargeCommunities(cs) => large = cs.clone(),
+            PathAttribute::MpReach(mp) => mp_reach = Some(mp),
+            PathAttribute::MpUnreach(mp) => content.withdrawn.extend(mp.withdrawn.iter().copied()),
+            _ => {}
+        }
+    }
+
+    let announcements: Vec<(Prefix, IpAddr)> = update
+        .nlri
+        .iter()
+        .map(|p| (*p, next_hop_v4.unwrap_or(IpAddr::V4([0, 0, 0, 0].into()))))
+        .chain(mp_reach.into_iter().flat_map(|mp| {
+            mp.nlri.iter().map(move |p| (*p, mp.next_hop))
+        }))
+        .collect();
+
+    if !announcements.is_empty() {
+        let origin = origin.ok_or(WireError::BadAttribute {
+            code: code::ORIGIN,
+            reason: "missing mandatory ORIGIN",
+        })?;
+        let as_path = as_path.ok_or(WireError::BadAttribute {
+            code: code::AS_PATH,
+            reason: "missing mandatory AS_PATH",
+        })?;
+        if !update.nlri.is_empty() && next_hop_v4.is_none() {
+            return Err(WireError::BadAttribute {
+                code: code::NEXT_HOP,
+                reason: "missing mandatory NEXT_HOP for IPv4 NLRI",
+            });
+        }
+        for (prefix, next_hop) in announcements {
+            let mut r = Route::builder(prefix, next_hop)
+                .as_path(as_path.clone())
+                .origin(origin)
+                .standards(standard.iter().copied())
+                .build();
+            r.extended_communities = extended.clone();
+            r.large_communities = large.clone();
+            r.med = med;
+            content.announced.push(r);
+        }
+    }
+
+    Ok(content)
+}
+
+/// Build an UPDATE announcing a batch of routes that share an attribute
+/// set. All routes must have the same AFI, path, origin, MED, next hop and
+/// communities as `routes[0]`; callers group routes accordingly
+/// (see [`routes_to_updates`] for the grouping front-end).
+pub fn routes_to_update(routes: &[Route]) -> UpdateMessage {
+    let Some(first) = routes.first() else {
+        return UpdateMessage::default();
+    };
+    let mut attributes = vec![
+        PathAttribute::Origin(first.origin),
+        PathAttribute::AsPath(first.as_path.clone()),
+    ];
+    if let Some(med) = first.med {
+        attributes.push(PathAttribute::Med(med));
+    }
+    if !first.standard_communities.is_empty() {
+        attributes.push(PathAttribute::Communities(first.standard_communities.clone()));
+    }
+    if !first.extended_communities.is_empty() {
+        attributes.push(PathAttribute::ExtendedCommunities(
+            first.extended_communities.clone(),
+        ));
+    }
+    if !first.large_communities.is_empty() {
+        attributes.push(PathAttribute::LargeCommunities(first.large_communities.clone()));
+    }
+    match (first.afi(), first.next_hop) {
+        (Afi::Ipv4, IpAddr::V4(nh)) => {
+            attributes.push(PathAttribute::NextHop(nh));
+            UpdateMessage {
+                withdrawn: vec![],
+                attributes,
+                nlri: routes.iter().map(|r| r.prefix).collect(),
+            }
+        }
+        _ => {
+            attributes.push(PathAttribute::MpReach(MpReach {
+                afi: first.afi(),
+                next_hop: first.next_hop,
+                nlri: routes.iter().map(|r| r.prefix).collect(),
+            }));
+            UpdateMessage {
+                withdrawn: vec![],
+                attributes,
+                nlri: vec![],
+            }
+        }
+    }
+}
+
+/// Group arbitrary routes by shared attribute set and emit one UPDATE per
+/// group, each within the 4096-byte limit (NLRI split into chunks).
+pub fn routes_to_updates(routes: &[Route]) -> Vec<UpdateMessage> {
+    use std::collections::BTreeMap;
+    // Group key: everything except the prefix. Ordering via the serialized
+    // display strings keeps the map deterministic without a custom Ord.
+    let mut groups: BTreeMap<String, Vec<&Route>> = BTreeMap::new();
+    for r in routes {
+        let key = format!(
+            "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            r.afi(),
+            r.next_hop,
+            r.as_path,
+            r.origin,
+            r.med,
+            r.standard_communities,
+            r.extended_communities,
+            r.large_communities,
+        );
+        groups.entry(key).or_default().push(r);
+    }
+    let mut updates = Vec::new();
+    for group in groups.values() {
+        // Conservative chunking: budget ~2000 bytes of NLRI per UPDATE
+        // (prefix encodings are ≤17 bytes), leaving ample room for
+        // attributes within 4096.
+        let chunk_size = 100usize;
+        for chunk in group.chunks(chunk_size) {
+            let owned: Vec<Route> = chunk.iter().map(|r| (*r).clone()).collect();
+            updates.push(routes_to_update(&owned));
+        }
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::community::{LargeCommunity, StandardCommunity};
+    use bgp_model::prelude::Asn;
+    use bgp_model::route::Origin;
+    use crate::message::Message;
+
+    fn v4_route(pfx: &str) -> Route {
+        Route::builder(pfx.parse().unwrap(), "198.32.0.7".parse().unwrap())
+            .path([64496, 15169])
+            .origin(Origin::Igp)
+            .standard(StandardCommunity::from_parts(0, 6939))
+            .build()
+    }
+
+    #[test]
+    fn route_update_roundtrip_v4() {
+        let r = v4_route("203.0.113.0/24");
+        let update = routes_to_update(std::slice::from_ref(&r));
+        let content = update_to_routes(&update).unwrap();
+        assert_eq!(content.announced, vec![r]);
+        assert!(content.withdrawn.is_empty());
+    }
+
+    #[test]
+    fn route_update_roundtrip_v6() {
+        let mut r = Route::builder(
+            "2001:db8:42::/48".parse().unwrap(),
+            "2001:7f8::6939:1".parse().unwrap(),
+        )
+        .path([6939, 44])
+        .origin(Origin::Incomplete)
+        .build();
+        r.large_communities = vec![LargeCommunity::new(26162, 0, 6939)];
+        r.med = Some(50);
+        let update = routes_to_update(std::slice::from_ref(&r));
+        assert!(update.nlri.is_empty(), "v6 rides in MP_REACH");
+        let content = update_to_routes(&update).unwrap();
+        assert_eq!(content.announced, vec![r]);
+    }
+
+    #[test]
+    fn shared_attributes_one_update() {
+        let routes = vec![v4_route("203.0.113.0/24"), v4_route("198.51.100.0/24")];
+        let updates = routes_to_updates(&routes);
+        assert_eq!(updates.len(), 1);
+        let content = update_to_routes(&updates[0]).unwrap();
+        assert_eq!(content.announced.len(), 2);
+    }
+
+    #[test]
+    fn different_attributes_split_updates() {
+        let a = v4_route("203.0.113.0/24");
+        let mut b = v4_route("198.51.100.0/24");
+        b.standard_communities.push(StandardCommunity::from_parts(6695, 1));
+        let updates = routes_to_updates(&[a, b]);
+        assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn withdraw_only_update() {
+        let update = UpdateMessage {
+            withdrawn: vec!["203.0.113.0/24".parse().unwrap()],
+            ..Default::default()
+        };
+        let content = update_to_routes(&update).unwrap();
+        assert!(content.announced.is_empty());
+        assert_eq!(content.withdrawn.len(), 1);
+    }
+
+    #[test]
+    fn missing_mandatory_attrs_rejected() {
+        let update = UpdateMessage {
+            nlri: vec!["203.0.113.0/24".parse().unwrap()],
+            ..Default::default()
+        };
+        assert!(update_to_routes(&update).is_err());
+    }
+
+    #[test]
+    fn large_batch_chunks_fit_wire_limit() {
+        let routes: Vec<Route> = (0..500u32)
+            .map(|i| {
+                let b = (i >> 8) as u8;
+                let c = i as u8;
+                Route::builder(
+                    Prefix::v4(100, b, c, 0, 24).unwrap(),
+                    "198.32.0.7".parse().unwrap(),
+                )
+                .path([64496, 15169])
+                .build()
+            })
+            .collect();
+        let updates = routes_to_updates(&routes);
+        assert!(updates.len() >= 5);
+        let mut total = 0;
+        for u in &updates {
+            // must encode within the 4096 limit
+            let wire = Message::Update(u.clone()).encode().unwrap();
+            assert!(wire.len() <= 4096);
+            total += update_to_routes(u).unwrap().announced.len();
+        }
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn as_path_asn_preserved() {
+        let r = v4_route("203.0.113.0/24");
+        let update = routes_to_update(std::slice::from_ref(&r));
+        let content = update_to_routes(&update).unwrap();
+        assert_eq!(content.announced[0].as_path.first_asn(), Some(Asn(64496)));
+    }
+}

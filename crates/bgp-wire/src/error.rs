@@ -1,0 +1,85 @@
+//! Wire-format errors.
+
+use std::fmt;
+
+/// Error decoding or encoding a BGP message or MRT record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes available than the structure requires.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The 16-byte marker was not all-ones (RFC 4271 §4.1).
+    BadMarker,
+    /// Header length field out of the [19, 4096] range or inconsistent.
+    BadLength(u16),
+    /// Unknown message type byte.
+    UnknownMessageType(u8),
+    /// BGP version other than 4 in OPEN.
+    UnsupportedVersion(u8),
+    /// Malformed path attribute.
+    BadAttribute {
+        /// Attribute type code.
+        code: u8,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// NLRI prefix length byte exceeds the family maximum.
+    BadPrefixLength(u8),
+    /// Malformed optional parameter / capability in OPEN.
+    BadCapability(&'static str),
+    /// Unknown or unsupported MRT record type/subtype.
+    BadMrtRecord(&'static str),
+    /// A value does not fit the field it must be encoded into.
+    ValueTooLarge(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {context}: need {needed} bytes, have {available}"
+            ),
+            WireError::BadMarker => write!(f, "BGP header marker is not all-ones"),
+            WireError::BadLength(l) => write!(f, "bad BGP message length {l}"),
+            WireError::UnknownMessageType(t) => write!(f, "unknown BGP message type {t}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported BGP version {v}"),
+            WireError::BadAttribute { code, reason } => {
+                write!(f, "bad path attribute {code}: {reason}")
+            }
+            WireError::BadPrefixLength(l) => write!(f, "bad NLRI prefix length {l}"),
+            WireError::BadCapability(r) => write!(f, "bad capability: {r}"),
+            WireError::BadMrtRecord(r) => write!(f, "bad MRT record: {r}"),
+            WireError::ValueTooLarge(what) => write!(f, "value too large for field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Check that `buf` has at least `needed` bytes remaining.
+pub(crate) fn ensure(
+    buf: &impl bytes::Buf,
+    needed: usize,
+    context: &'static str,
+) -> Result<(), WireError> {
+    if buf.remaining() < needed {
+        Err(WireError::Truncated {
+            context,
+            needed,
+            available: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the session FSM: no input sequence may panic it,
+//! and it must always be restartable.
+
+use bgp_model::asn::Asn;
+use bgp_wire::fsm::{run_pair, Action, Config, Event, Fsm, State};
+use bgp_wire::message::{Message, UpdateMessage};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Input {
+    ManualStart,
+    ManualStop,
+    TransportUp,
+    TransportDown,
+    Garbage(Vec<u8>),
+    ValidKeepalive,
+    ValidUpdate,
+    Tick(u64),
+}
+
+fn arb_input() -> impl Strategy<Value = Input> {
+    prop_oneof![
+        Just(Input::ManualStart),
+        Just(Input::ManualStop),
+        Just(Input::TransportUp),
+        Just(Input::TransportDown),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Input::Garbage),
+        Just(Input::ValidKeepalive),
+        Just(Input::ValidUpdate),
+        (0u64..200_000).prop_map(Input::Tick),
+    ]
+}
+
+fn to_event(input: &Input) -> Event {
+    match input {
+        Input::ManualStart => Event::ManualStart,
+        Input::ManualStop => Event::ManualStop,
+        Input::TransportUp => Event::TransportUp,
+        Input::TransportDown => Event::TransportDown,
+        Input::Garbage(bytes) => Event::BytesReceived(BytesMut::from(&bytes[..])),
+        Input::ValidKeepalive => {
+            let wire = Message::Keepalive.encode().unwrap();
+            Event::BytesReceived(BytesMut::from(&wire[..]))
+        }
+        Input::ValidUpdate => {
+            let wire = Message::Update(UpdateMessage::default()).encode().unwrap();
+            Event::BytesReceived(BytesMut::from(&wire[..]))
+        }
+        Input::Tick(ms) => Event::Tick { now_ms: *ms },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Absolutely any event sequence must be handled without panicking,
+    /// and every SessionUp must be preceded by reaching Established.
+    #[test]
+    fn fsm_never_panics(inputs in proptest::collection::vec(arb_input(), 0..40)) {
+        let mut fsm = Fsm::new(Config::new(Asn(39120), "192.0.2.1".parse().unwrap()));
+        for input in &inputs {
+            let state_before = fsm.state();
+            let actions = fsm.handle(to_event(input));
+            for a in &actions {
+                if matches!(a, Action::SessionUp(_)) {
+                    prop_assert_eq!(fsm.state(), State::Established);
+                }
+                if matches!(a, Action::DeliverUpdate(_)) {
+                    // updates are only delivered while established
+                    prop_assert_eq!(state_before, State::Established);
+                }
+            }
+        }
+    }
+
+    /// After any battering, ManualStart + a fresh handshake still works:
+    /// the FSM must never wedge.
+    #[test]
+    fn fsm_always_restartable(inputs in proptest::collection::vec(arb_input(), 0..30)) {
+        let mut fsm = Fsm::new(Config::new(Asn(39120), "192.0.2.1".parse().unwrap()));
+        for input in &inputs {
+            let _ = fsm.handle(to_event(input));
+        }
+        // force back to Idle however it ended up
+        fsm.handle(Event::ManualStop);
+        fsm.handle(Event::TransportDown);
+        prop_assert_eq!(fsm.state(), State::Idle);
+        // a clean bring-up against a fresh peer must succeed
+        let mut peer = Fsm::new(Config::new(Asn(6939), "192.0.2.2".parse().unwrap()));
+        run_pair(&mut fsm, &mut peer);
+        prop_assert_eq!(fsm.state(), State::Established);
+        prop_assert_eq!(peer.state(), State::Established);
+    }
+
+    /// Fragmented delivery: a valid byte stream chopped at arbitrary
+    /// points decodes identically to one-shot delivery.
+    #[test]
+    fn fragmentation_is_transparent(cut in 1usize..18) {
+        let mut a = Fsm::new(Config::new(Asn(39120), "192.0.2.1".parse().unwrap()));
+        let mut b = Fsm::new(Config::new(Asn(6939), "192.0.2.2".parse().unwrap()));
+        run_pair(&mut a, &mut b);
+        let Action::Send(wire) = a.send_update(UpdateMessage::default()).unwrap() else {
+            panic!()
+        };
+        let cut = cut.min(wire.len() - 1);
+        let mut acts = b.handle(Event::BytesReceived(BytesMut::from(&wire[..cut])));
+        prop_assert!(acts.is_empty(), "no action from a partial frame");
+        acts.extend(b.handle(Event::BytesReceived(BytesMut::from(&wire[cut..]))));
+        prop_assert_eq!(
+            acts,
+            vec![Action::DeliverUpdate(UpdateMessage::default())]
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Round-trip property tests for the wire codec: arbitrary routes must
+//! survive UPDATE encode/decode and MRT dump encode/decode bit-exactly.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bgp_model::prelude::*;
+use bgp_wire::convert::{routes_to_update, routes_to_updates, update_to_routes};
+use bgp_wire::message::Message;
+use bgp_wire::mrt::MrtRibDump;
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(bits, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap())
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(bits, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(bits)), len).unwrap())
+}
+
+fn arb_standard() -> impl Strategy<Value = StandardCommunity> {
+    (any::<u16>(), any::<u16>()).prop_map(|(h, l)| StandardCommunity::from_parts(h, l))
+}
+
+fn arb_large() -> impl Strategy<Value = LargeCommunity> {
+    (any::<u32>(), any::<u32>(), any::<u32>())
+        .prop_map(|(g, a, b)| LargeCommunity::new(g, a, b))
+}
+
+fn arb_extended() -> impl Strategy<Value = ExtendedCommunity> {
+    (any::<u8>(), any::<u16>(), any::<u32>())
+        .prop_map(|(st, asn, local)| ExtendedCommunity::two_octet_as(st, asn, local))
+}
+
+prop_compose! {
+    fn arb_v4_route()(
+        prefix in arb_v4_prefix(),
+        nh in any::<u32>(),
+        path in proptest::collection::vec(1u32..4_000_000, 1..6),
+        med in proptest::option::of(any::<u32>()),
+        std_cs in proptest::collection::vec(arb_standard(), 0..12),
+        ext_cs in proptest::collection::vec(arb_extended(), 0..4),
+        lg_cs in proptest::collection::vec(arb_large(), 0..4),
+        origin_code in 0u8..=2,
+    ) -> Route {
+        let mut r = Route::builder(prefix, IpAddr::V4(Ipv4Addr::from(nh)))
+            .path(path)
+            .origin(Origin::from_code(origin_code).unwrap())
+            .standards(std_cs)
+            .build();
+        r.extended_communities = ext_cs;
+        r.large_communities = lg_cs;
+        r.med = med;
+        r
+    }
+}
+
+prop_compose! {
+    fn arb_v6_route()(
+        prefix in arb_v6_prefix(),
+        nh in any::<u128>(),
+        path in proptest::collection::vec(1u32..4_000_000, 1..6),
+        std_cs in proptest::collection::vec(arb_standard(), 0..12),
+        lg_cs in proptest::collection::vec(arb_large(), 0..4),
+    ) -> Route {
+        let mut r = Route::builder(prefix, IpAddr::V6(Ipv6Addr::from(nh)))
+            .path(path)
+            .standards(std_cs)
+            .build();
+        r.large_communities = lg_cs;
+        r
+    }
+}
+
+fn wire_roundtrip(route: &Route) -> Route {
+    let update = routes_to_update(std::slice::from_ref(route));
+    let wire = Message::Update(update).encode().expect("encodes");
+    let mut buf = BytesMut::from(&wire[..]);
+    let Some(Message::Update(decoded)) = Message::decode(&mut buf).expect("decodes") else {
+        panic!("not an update");
+    };
+    assert!(buf.is_empty());
+    update_to_routes(&decoded)
+        .expect("valid update")
+        .announced
+        .remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn v4_route_survives_wire(route in arb_v4_route()) {
+        prop_assert_eq!(wire_roundtrip(&route), route);
+    }
+
+    #[test]
+    fn v6_route_survives_wire(route in arb_v6_route()) {
+        prop_assert_eq!(wire_roundtrip(&route), route);
+    }
+
+    #[test]
+    fn update_batching_preserves_all_routes(
+        routes in proptest::collection::vec(arb_v4_route(), 1..40)
+    ) {
+        let updates = routes_to_updates(&routes);
+        let mut recovered: Vec<Route> = updates
+            .iter()
+            .flat_map(|u| update_to_routes(u).unwrap().announced)
+            .collect();
+        let mut expected = routes.clone();
+        // order is not preserved across attribute groups; compare as multisets
+        recovered.sort_by_key(|r| (r.prefix, format!("{:?}", r.as_path)));
+        expected.sort_by_key(|r| (r.prefix, format!("{:?}", r.as_path)));
+        // routes with identical prefix+attrs dedupe into the same NLRI slot,
+        // but both copies still appear since NLRI lists repeat prefixes
+        prop_assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn mrt_dump_roundtrip(
+        v4 in proptest::collection::vec(arb_v4_route(), 0..12),
+        v6 in proptest::collection::vec(arb_v6_route(), 0..6),
+        ts in any::<u32>(),
+    ) {
+        let pairs: Vec<(Asn, &Route)> = v4
+            .iter()
+            .chain(v6.iter())
+            .enumerate()
+            .map(|(i, r)| (Asn(64496 + (i as u32 % 5)), r))
+            .collect();
+        let dump = MrtRibDump::from_routes(ts, pairs.iter().map(|(a, r)| (*a, *r)));
+        let wire = dump.encode().unwrap();
+        let back = MrtRibDump::decode(wire).unwrap();
+        prop_assert_eq!(&back, &dump);
+        // multiset of (peer, route) pairs is preserved
+        let mut got = back.to_routes();
+        let mut want: Vec<(Asn, Route)> =
+            pairs.iter().map(|(a, r)| (*a, (*r).clone())).collect();
+        let key = |p: &(Asn, Route)| (p.0, p.1.prefix, format!("{:?}", p.1));
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        let _ = Message::decode(&mut buf); // must not panic
+        let _ = MrtRibDump::decode(bytes::Bytes::from(bytes)); // must not panic
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_frame(
+        route in arb_v4_route(),
+        flip in 0usize..64,
+        value in any::<u8>(),
+    ) {
+        let update = routes_to_update(std::slice::from_ref(&route));
+        let wire = Message::Update(update).encode().unwrap();
+        let mut raw = BytesMut::from(&wire[..]);
+        let idx = flip % raw.len();
+        raw[idx] = value;
+        let _ = Message::decode(&mut raw); // any result is fine, no panic
+    }
+}

@@ -1,0 +1,302 @@
+//! Textual RS configuration format.
+//!
+//! The paper's first dictionary source is "the RS configuration file
+//! containing the semantics of informational and action BGP communities"
+//! fetched over the LG API (§3). This module defines that artifact: a
+//! line-based, BIRD-comment-style text rendering of dictionary entries,
+//! with a strict parser — so the collection pipeline can work from the
+//! same kind of file the paper's did.
+//!
+//! ```text
+//! # DE-CIX route server communities
+//! rs-asn 6695
+//! community          0:6695        action  do-not-announce-to  all   "do not announce to any peer"
+//! community-template 0:<peer-as>   action  do-not-announce-to  peer  "do not announce to <peer-as>"
+//! community          6695:64000    info    learned-at 0              "learned at location 0"
+//! ```
+
+use std::fmt::Write as _;
+
+use bgp_model::asn::Asn;
+use bgp_model::community::StandardCommunity;
+
+use crate::action::{Action, ActionKind, Target};
+use crate::entry::{DictionaryEntry, SourceSet};
+use crate::pattern::Pattern;
+use crate::semantics::{InfoKind, Semantics};
+
+/// Error parsing a config text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+fn action_keyword(kind: ActionKind) -> String {
+    match kind {
+        ActionKind::DoNotAnnounceTo => "do-not-announce-to".into(),
+        ActionKind::AnnounceOnlyTo => "announce-only-to".into(),
+        ActionKind::PrependTo(n) => format!("prepend-{n}-to"),
+        ActionKind::Blackhole => "blackhole".into(),
+    }
+}
+
+fn parse_action_keyword(word: &str) -> Option<ActionKind> {
+    match word {
+        "do-not-announce-to" => Some(ActionKind::DoNotAnnounceTo),
+        "announce-only-to" => Some(ActionKind::AnnounceOnlyTo),
+        "blackhole" => Some(ActionKind::Blackhole),
+        _ => {
+            let n = word.strip_prefix("prepend-")?.strip_suffix("-to")?;
+            n.parse::<u8>().ok().map(ActionKind::PrependTo)
+        }
+    }
+}
+
+fn target_keyword(target: Target) -> String {
+    match target {
+        Target::AllPeers => "all".into(),
+        Target::Peer(asn) => format!("as{}", asn.value()),
+        Target::Region(code) => format!("region{code}"),
+        Target::TaggedPrefix => "prefix".into(),
+    }
+}
+
+fn parse_target_keyword(word: &str) -> Option<Target> {
+    match word {
+        "all" => Some(Target::AllPeers),
+        "peer" => Some(Target::Peer(Asn(0))), // template placeholder
+        "prefix" => Some(Target::TaggedPrefix),
+        _ => {
+            if let Some(asn) = word.strip_prefix("as") {
+                return asn.parse::<u32>().ok().map(|v| Target::Peer(Asn(v)));
+            }
+            word.strip_prefix("region")
+                .and_then(|c| c.parse::<u16>().ok())
+                .map(Target::Region)
+        }
+    }
+}
+
+fn info_keywords(kind: InfoKind) -> (&'static str, u16) {
+    match kind {
+        InfoKind::LearnedAt(c) => ("learned-at", c),
+        InfoKind::OriginClass(c) => ("origin-class", c),
+        InfoKind::RsNote(c) => ("rs-note", c),
+    }
+}
+
+fn parse_info_keywords(word: &str, code: u16) -> Option<InfoKind> {
+    match word {
+        "learned-at" => Some(InfoKind::LearnedAt(code)),
+        "origin-class" => Some(InfoKind::OriginClass(code)),
+        "rs-note" => Some(InfoKind::RsNote(code)),
+        _ => None,
+    }
+}
+
+/// Render entries as the RS configuration text.
+pub fn render(rs_asn: Asn, name: &str, entries: &[DictionaryEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {name} route server community definitions");
+    let _ = writeln!(out, "rs-asn {}", rs_asn.value());
+    for e in entries {
+        let (keyword, pattern_text) = match e.pattern {
+            Pattern::Exact(c) => ("community", c.to_string()),
+            Pattern::PeerAsnLow { high } => ("community-template", format!("{high}:<peer-as>")),
+            Pattern::LowRange { high, lo, hi } => ("community-range", format!("{high}:{lo}-{hi}")),
+        };
+        let semantics_text = match e.semantics {
+            Semantics::Action(Action { kind, target }) => {
+                // templates keep the symbolic "peer" target
+                let target_text = if matches!(e.pattern, Pattern::PeerAsnLow { .. })
+                    && matches!(target, Target::Peer(_))
+                {
+                    "peer".to_string()
+                } else {
+                    target_keyword(target)
+                };
+                format!("action {} {}", action_keyword(kind), target_text)
+            }
+            Semantics::Informational(kind) => {
+                let (word, code) = info_keywords(kind);
+                format!("info {word} {code}")
+            }
+        };
+        let desc = e.description.replace('"', "'");
+        let _ = writeln!(out, "{keyword} {pattern_text} {semantics_text} \"{desc}\"");
+    }
+    out
+}
+
+/// Parse a config text back into entries (provenance: RS config).
+pub fn parse(text: &str) -> Result<Vec<DictionaryEntry>, ConfigParseError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("rs-asn ") {
+            continue;
+        }
+        let err = |message: String| ConfigParseError {
+            line: lineno,
+            message,
+        };
+        // split off the quoted description
+        let (head, desc) = match line.split_once('"') {
+            Some((head, rest)) => {
+                let desc = rest
+                    .strip_suffix('"')
+                    .ok_or_else(|| err("unterminated description".into()))?;
+                (head.trim(), desc.to_string())
+            }
+            None => (line, String::new()),
+        };
+        let mut words = head.split_whitespace();
+        let keyword = words.next().ok_or_else(|| err("empty line".into()))?;
+        let pattern_text = words
+            .next()
+            .ok_or_else(|| err("missing community pattern".into()))?;
+        let pattern = match keyword {
+            "community" => Pattern::Exact(
+                pattern_text
+                    .parse::<StandardCommunity>()
+                    .map_err(|e| err(format!("bad community: {e}")))?,
+            ),
+            "community-template" => {
+                let (high, low) = pattern_text
+                    .split_once(':')
+                    .ok_or_else(|| err("bad template".into()))?;
+                if low != "<peer-as>" {
+                    return Err(err("template low part must be <peer-as>".into()));
+                }
+                Pattern::PeerAsnLow {
+                    high: high.parse().map_err(|_| err("bad template high".into()))?,
+                }
+            }
+            "community-range" => {
+                let (high, range) = pattern_text
+                    .split_once(':')
+                    .ok_or_else(|| err("bad range".into()))?;
+                let (lo, hi) = range
+                    .split_once('-')
+                    .ok_or_else(|| err("bad range bounds".into()))?;
+                Pattern::LowRange {
+                    high: high.parse().map_err(|_| err("bad range high".into()))?,
+                    lo: lo.parse().map_err(|_| err("bad range lo".into()))?,
+                    hi: hi.parse().map_err(|_| err("bad range hi".into()))?,
+                }
+            }
+            other => return Err(err(format!("unknown keyword {other:?}"))),
+        };
+        let class = words
+            .next()
+            .ok_or_else(|| err("missing action/info class".into()))?;
+        let semantics = match class {
+            "action" => {
+                let kind_word = words.next().ok_or_else(|| err("missing action kind".into()))?;
+                let kind = parse_action_keyword(kind_word)
+                    .ok_or_else(|| err(format!("unknown action {kind_word:?}")))?;
+                let target = if kind == ActionKind::Blackhole {
+                    words.next(); // optional "prefix" token
+                    Target::TaggedPrefix
+                } else {
+                    let t = words.next().ok_or_else(|| err("missing target".into()))?;
+                    parse_target_keyword(t)
+                        .ok_or_else(|| err(format!("unknown target {t:?}")))?
+                };
+                Semantics::Action(Action { kind, target })
+            }
+            "info" => {
+                let word = words.next().ok_or_else(|| err("missing info kind".into()))?;
+                let code: u16 = words
+                    .next()
+                    .ok_or_else(|| err("missing info code".into()))?
+                    .parse()
+                    .map_err(|_| err("bad info code".into()))?;
+                parse_info_keywords(word, code)
+                    .map(Semantics::Informational)
+                    .ok_or_else(|| err(format!("unknown info kind {word:?}")))?
+            }
+            other => return Err(err(format!("unknown class {other:?}"))),
+        };
+        entries.push(
+            DictionaryEntry::new(pattern, semantics, desc).with_sources(SourceSet::RS_ONLY),
+        );
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ixp::IxpId;
+    use crate::schemes;
+
+    #[test]
+    fn render_parse_roundtrip_full_scheme() {
+        for ixp in IxpId::ALL {
+            let entries = schemes::rs_config_entries(ixp);
+            let text = render(ixp.rs_asn(), ixp.short_name(), &entries);
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{ixp}: {e}"));
+            assert_eq!(parsed.len(), entries.len(), "{ixp}");
+            for (a, b) in parsed.iter().zip(&entries) {
+                assert_eq!(a.pattern, b.pattern, "{ixp}");
+                assert_eq!(a.semantics, b.semantics, "{ixp}");
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_text_is_readable() {
+        let entries = schemes::rs_config_entries(IxpId::AmsIx);
+        let text = render(IxpId::AmsIx.rs_asn(), "AMS-IX", &entries);
+        assert!(text.starts_with("# AMS-IX route server community definitions"));
+        assert!(text.contains("rs-asn 6777"));
+        assert!(text.contains("community-template 0:<peer-as> action do-not-announce-to peer"));
+        assert!(text.contains("blackhole"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse("community").is_err());
+        assert!(parse("community banana action do-not-announce-to all").is_err());
+        assert!(parse("community 0:6695 dance do-not-announce-to all").is_err());
+        assert!(parse("community 0:6695 action pirouette all").is_err());
+        assert!(parse("community-template 0:wrong action do-not-announce-to peer").is_err());
+        assert!(parse("community 0:6695 action do-not-announce-to all \"unterminated").is_err());
+        let err = parse("\n\nbogus line here").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# hello\n\nrs-asn 8714\ncommunity 65535:666 action blackhole prefix \"bh\"\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].semantics,
+            Semantics::Action(Action::blackhole())
+        );
+    }
+
+    #[test]
+    fn prepend_keywords() {
+        assert_eq!(
+            parse_action_keyword("prepend-3-to"),
+            Some(ActionKind::PrependTo(3))
+        );
+        assert_eq!(action_keyword(ActionKind::PrependTo(2)), "prepend-2-to");
+        assert_eq!(parse_action_keyword("prepend-x-to"), None);
+    }
+}

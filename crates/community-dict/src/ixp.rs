@@ -1,0 +1,122 @@
+//! The eight IXPs of the study (paper Table 1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_model::asn::Asn;
+
+/// Identifier for each of the paper's eight vantage-point IXPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IxpId {
+    /// IX.br São Paulo, Brazil.
+    IxBrSp,
+    /// DE-CIX Frankfurt, Germany.
+    DeCixFra,
+    /// LINX London, United Kingdom.
+    Linx,
+    /// AMS-IX Amsterdam, Netherlands.
+    AmsIx,
+    /// DE-CIX Madrid, Spain.
+    DeCixMad,
+    /// DE-CIX New York, USA.
+    DeCixNyc,
+    /// BCIX Berlin, Germany.
+    Bcix,
+    /// Netnod Stockholm, Sweden.
+    Netnod,
+}
+
+impl IxpId {
+    /// All eight, Table 1 row order.
+    pub const ALL: [IxpId; 8] = [
+        IxpId::IxBrSp,
+        IxpId::DeCixFra,
+        IxpId::Linx,
+        IxpId::AmsIx,
+        IxpId::DeCixMad,
+        IxpId::DeCixNyc,
+        IxpId::Bcix,
+        IxpId::Netnod,
+    ];
+
+    /// The four largest IXPs the paper's analysis focuses on.
+    pub const BIG_FOUR: [IxpId; 4] = [IxpId::IxBrSp, IxpId::DeCixFra, IxpId::Linx, IxpId::AmsIx];
+
+    /// The route server's ASN (modeled on the real RS ASNs).
+    pub const fn rs_asn(self) -> Asn {
+        match self {
+            IxpId::IxBrSp => Asn(26162),
+            IxpId::DeCixFra | IxpId::DeCixMad | IxpId::DeCixNyc => Asn(6695),
+            IxpId::Linx => Asn(8714),
+            IxpId::AmsIx => Asn(6777),
+            IxpId::Bcix => Asn(16374),
+            IxpId::Netnod => Asn(8674),
+        }
+    }
+
+    /// Short machine-friendly name, as used in file names and tables.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            IxpId::IxBrSp => "IX.br-SP",
+            IxpId::DeCixFra => "DE-CIX",
+            IxpId::Linx => "LINX",
+            IxpId::AmsIx => "AMS-IX",
+            IxpId::DeCixMad => "DE-CIX-Mad",
+            IxpId::DeCixNyc => "DE-CIX-NYC",
+            IxpId::Bcix => "BCIX",
+            IxpId::Netnod => "Netnod",
+        }
+    }
+
+    /// Location as printed in Table 1.
+    pub const fn location(self) -> &'static str {
+        match self {
+            IxpId::IxBrSp => "São Paulo, Brazil",
+            IxpId::DeCixFra => "Frankfurt, Germany",
+            IxpId::Linx => "London, United Kingdom",
+            IxpId::AmsIx => "Amsterdam, Netherlands",
+            IxpId::DeCixMad => "Madrid, Spain",
+            IxpId::DeCixNyc => "New York, USA",
+            IxpId::Bcix => "Berlin, Germany",
+            IxpId::Netnod => "Stockholm, Sweden",
+        }
+    }
+
+    /// True for the DE-CIX family, which shares one community scheme.
+    pub const fn is_decix(self) -> bool {
+        matches!(self, IxpId::DeCixFra | IxpId::DeCixMad | IxpId::DeCixNyc)
+    }
+}
+
+impl fmt::Display for IxpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decix_family_shares_rs_asn() {
+        assert_eq!(IxpId::DeCixFra.rs_asn(), IxpId::DeCixMad.rs_asn());
+        assert_eq!(IxpId::DeCixFra.rs_asn(), IxpId::DeCixNyc.rs_asn());
+        assert!(IxpId::DeCixMad.is_decix());
+        assert!(!IxpId::Linx.is_decix());
+    }
+
+    #[test]
+    fn big_four_are_first_four() {
+        assert_eq!(&IxpId::ALL[..4], &IxpId::BIG_FOUR[..]);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = IxpId::ALL.iter().map(|i| i.short_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,187 @@
+//! The named Autonomous Systems of the paper.
+//!
+//! §5.4–§5.5 name the networks most targeted by action communities
+//! (content providers such as Hurricane Electric, Google, Akamai,
+//! OVHcloud, Netflix, Edgecast, LeaseWeb) and the large ISPs tagging
+//! them. This module fixes the ASN ↔ name ↔ category mapping used by the
+//! community schemes and the synthetic world model. ASNs are the real
+//! ones where they fit in 16 bits (standard communities cannot encode
+//! 4-byte targets — a real-world constraint the paper's IXPs share).
+
+use bgp_model::asn::Asn;
+
+/// Business category of a network, driving its tagging behaviour in the
+/// synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Content/CDN/cloud network (Google, Akamai, OVHcloud, …).
+    ContentProvider,
+    /// Large transit/backbone ISP (Hurricane Electric, Cogent, …).
+    LargeIsp,
+    /// Regional/access ISP.
+    RegionalIsp,
+    /// Educational / research network.
+    Educational,
+    /// Enterprise network.
+    Enterprise,
+}
+
+/// One named network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownAs {
+    /// Its ASN.
+    pub asn: Asn,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Category.
+    pub category: Category,
+}
+
+macro_rules! known {
+    ($($asn:expr, $name:expr, $cat:ident;)*) => {
+        &[$(KnownAs { asn: Asn($asn), name: $name, category: Category::$cat },)*]
+    };
+}
+
+/// The named networks. Content providers the paper lists as avoided,
+/// the large ISPs it lists as "culprits", and the IX.br educational /
+/// enterprise networks of §5.4.
+pub const KNOWN: &[KnownAs] = known![
+    // content providers / CDNs / clouds (the most-avoided networks, §5.4)
+    15169, "Google", ContentProvider;
+    20940, "Akamai", ContentProvider;
+    13335, "Cloudflare", ContentProvider;
+    16276, "OVHcloud", ContentProvider;
+    2906,  "Netflix", ContentProvider;
+    15133, "Edgecast", ContentProvider;
+    60781, "LeaseWeb", ContentProvider;
+    714,   "Apple", ContentProvider;
+    16509, "Amazon", ContentProvider;
+    8075,  "Microsoft", ContentProvider;
+    32934, "Meta", ContentProvider;
+    54113, "Fastly", ContentProvider;
+    22822, "Limelight", ContentProvider;
+    36408, "CDNetworks", ContentProvider;
+    46489, "Twitch", ContentProvider;
+    13414, "Twitter", ContentProvider;
+    29990, "Filanco", ContentProvider;
+    // large transit ISPs (the Fig. 7 "culprits")
+    6939,  "Hurricane Electric", LargeIsp;
+    174,   "Cogent", LargeIsp;
+    3356,  "Lumen", LargeIsp;
+    1299,  "Arelion", LargeIsp;
+    3257,  "GTT", LargeIsp;
+    2914,  "NTT", LargeIsp;
+    6453,  "Tata", LargeIsp;
+    6461,  "Zayo", LargeIsp;
+    6830,  "Liberty Global", LargeIsp;
+    1273,  "Vodafone", LargeIsp;
+    5511,  "Orange", LargeIsp;
+    12956, "Telxius", LargeIsp;
+    3320,  "Deutsche Telekom", LargeIsp;
+    6762,  "Sparkle", LargeIsp;
+    3491,  "PCCW", LargeIsp;
+    7473,  "Singtel", LargeIsp;
+    4637,  "Telstra", LargeIsp;
+    // regional ISPs named in §5.4 (synthetic 16-bit ASNs for 4-byte reals)
+    28329, "PROLINK", RegionalIsp;
+    28571, "Syntegra Telecom", RegionalIsp;
+    7738,  "V.tal", RegionalIsp;
+    28573, "Claro BR", RegionalIsp;
+    26615, "TIM BR", RegionalIsp;
+    // educational / enterprise (IX.br announce-only targets, §5.4)
+    1916,  "RNP", Educational;
+    22548, "NIC-Simet", Educational;
+    28583, "Itau", Enterprise;
+];
+
+/// Look up a known network by ASN.
+pub fn lookup(asn: Asn) -> Option<&'static KnownAs> {
+    KNOWN.iter().find(|k| k.asn == asn)
+}
+
+/// Name for an ASN: the known name, or `ASxxxx`.
+pub fn name_of(asn: Asn) -> String {
+    match lookup(asn) {
+        Some(k) => k.name.to_string(),
+        None => asn.to_string(),
+    }
+}
+
+/// All known ASNs of a category.
+pub fn of_category(cat: Category) -> impl Iterator<Item = &'static KnownAs> {
+    KNOWN.iter().filter(move |k| k.category == cat)
+}
+
+/// Deterministically generate `count` synthetic 16-bit ASNs that are
+/// neither bogons nor in the known list nor in `exclude`. Used to fill
+/// the enumerated per-AS example entries of the larger dictionaries.
+pub fn synthetic_fill(count: usize, exclude: &[Asn]) -> Vec<Asn> {
+    let mut out = Vec::with_capacity(count);
+    let mut v: u32 = 1001;
+    while out.len() < count {
+        let asn = Asn(v);
+        let taken =
+            asn.is_bogon() || lookup(asn).is_some() || exclude.contains(&asn) || out.contains(&asn);
+        if !taken && v < 64000 {
+            out.push(asn);
+        }
+        v += 13;
+        assert!(v < 1_000_000, "synthetic ASN space exhausted");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_asns_are_unique_and_16bit() {
+        let mut asns: Vec<u32> = KNOWN.iter().map(|k| k.asn.value()).collect();
+        asns.sort();
+        let before = asns.len();
+        asns.dedup();
+        assert_eq!(asns.len(), before, "duplicate ASN in KNOWN");
+        for k in KNOWN {
+            assert!(k.asn.is_16bit(), "{} not 16-bit", k.name);
+            assert!(!k.asn.is_bogon(), "{} is a bogon", k.name);
+        }
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        assert_eq!(lookup(Asn(6939)).unwrap().name, "Hurricane Electric");
+        assert_eq!(name_of(Asn(15169)), "Google");
+        assert_eq!(name_of(Asn(64999)), "AS64999");
+        assert!(lookup(Asn(1)).is_none());
+    }
+
+    #[test]
+    fn categories_populated() {
+        assert!(of_category(Category::ContentProvider).count() >= 10);
+        assert!(of_category(Category::LargeIsp).count() >= 10);
+        assert!(of_category(Category::Educational).count() >= 2);
+    }
+
+    #[test]
+    fn synthetic_fill_avoids_collisions() {
+        let fill = synthetic_fill(300, &[Asn(1014)]);
+        assert_eq!(fill.len(), 300);
+        let mut sorted = fill.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 300);
+        for a in &fill {
+            assert!(!a.is_bogon());
+            assert!(lookup(*a).is_none());
+            assert_ne!(*a, Asn(1014));
+            assert!(a.is_16bit());
+        }
+    }
+
+    #[test]
+    fn synthetic_fill_is_deterministic() {
+        assert_eq!(synthetic_fill(50, &[]), synthetic_fill(50, &[]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Community patterns.
+//!
+//! IXP documentation defines communities both as exact values
+//! ("`0:6695` — do not announce to any peer") and as templates over the
+//! peer ASN ("`0:<peer-as>` — do not announce to that peer"). A
+//! [`Pattern`] covers both forms; matching a templated pattern *resolves*
+//! the placeholder target in the entry's semantics to the concrete AS
+//! found in the community's low bits.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_model::asn::Asn;
+use bgp_model::community::StandardCommunity;
+
+use crate::action::{Action, Target};
+use crate::semantics::Semantics;
+
+/// A pattern over standard community values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Exactly this value.
+    Exact(StandardCommunity),
+    /// `high:<peer-as>` — any low value, interpreted as the target ASN.
+    PeerAsnLow {
+        /// The fixed high 16 bits.
+        high: u16,
+    },
+    /// `high:[lo..=hi]` — a contiguous range of low values (used for
+    /// region/facility code blocks).
+    LowRange {
+        /// The fixed high 16 bits.
+        high: u16,
+        /// Lowest matching low value.
+        lo: u16,
+        /// Highest matching low value.
+        hi: u16,
+    },
+}
+
+impl Pattern {
+    /// True if `c` matches the pattern.
+    pub fn matches(&self, c: StandardCommunity) -> bool {
+        match self {
+            Pattern::Exact(v) => *v == c,
+            Pattern::PeerAsnLow { high } => c.high() == *high,
+            Pattern::LowRange { high, lo, hi } => {
+                c.high() == *high && (*lo..=*hi).contains(&c.low())
+            }
+        }
+    }
+
+    /// Resolve the entry's stored semantics against the concrete matched
+    /// community: templated patterns substitute the real target.
+    pub fn resolve(&self, semantics: Semantics, c: StandardCommunity) -> Semantics {
+        match (self, semantics) {
+            (Pattern::PeerAsnLow { .. }, Semantics::Action(action)) => {
+                Semantics::Action(Action {
+                    kind: action.kind,
+                    target: Target::Peer(Asn(c.low() as u32)),
+                })
+            }
+            (Pattern::LowRange { lo, .. }, Semantics::Action(action))
+                if matches!(action.target, Target::Region(_)) =>
+            {
+                Semantics::Action(Action {
+                    kind: action.kind,
+                    target: Target::Region(c.low() - lo),
+                })
+            }
+            (Pattern::LowRange { lo, .. }, Semantics::Informational(info)) => {
+                use crate::semantics::InfoKind;
+                let code = c.low() - lo;
+                Semantics::Informational(match info {
+                    InfoKind::LearnedAt(_) => InfoKind::LearnedAt(code),
+                    InfoKind::OriginClass(_) => InfoKind::OriginClass(code),
+                    InfoKind::RsNote(_) => InfoKind::RsNote(code),
+                })
+            }
+            _ => semantics,
+        }
+    }
+
+    /// Number of distinct community values this pattern can match. Used
+    /// by precedence: more specific (smaller) patterns win.
+    pub fn specificity(&self) -> u32 {
+        match self {
+            Pattern::Exact(_) => 1,
+            Pattern::LowRange { lo, hi, .. } => (*hi as u32).saturating_sub(*lo as u32) + 1,
+            Pattern::PeerAsnLow { .. } => 65536,
+        }
+    }
+
+    /// The fixed high 16 bits all matches share (index key).
+    pub fn high(&self) -> u16 {
+        match self {
+            Pattern::Exact(v) => v.high(),
+            Pattern::PeerAsnLow { high } | Pattern::LowRange { high, .. } => *high,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionKind;
+    use crate::semantics::InfoKind;
+
+    const C: fn(u16, u16) -> StandardCommunity = StandardCommunity::from_parts;
+
+    #[test]
+    fn exact_matching() {
+        let p = Pattern::Exact(C(0, 6695));
+        assert!(p.matches(C(0, 6695)));
+        assert!(!p.matches(C(0, 6694)));
+        assert!(!p.matches(C(1, 6695)));
+        assert_eq!(p.specificity(), 1);
+    }
+
+    #[test]
+    fn peer_asn_matching_and_resolution() {
+        let p = Pattern::PeerAsnLow { high: 0 };
+        assert!(p.matches(C(0, 6939)));
+        assert!(!p.matches(C(6695, 6939)));
+        let template = Semantics::Action(Action::avoid(Asn(0)));
+        let resolved = p.resolve(template, C(0, 6939));
+        assert_eq!(
+            resolved,
+            Semantics::Action(Action::avoid(Asn(6939)))
+        );
+        assert_eq!(p.specificity(), 65536);
+    }
+
+    #[test]
+    fn low_range_matching() {
+        let p = Pattern::LowRange {
+            high: 6695,
+            lo: 800,
+            hi: 899,
+        };
+        assert!(p.matches(C(6695, 800)));
+        assert!(p.matches(C(6695, 899)));
+        assert!(!p.matches(C(6695, 900)));
+        assert!(!p.matches(C(6695, 799)));
+        assert_eq!(p.specificity(), 100);
+    }
+
+    #[test]
+    fn low_range_informational_resolution() {
+        let p = Pattern::LowRange {
+            high: 6695,
+            lo: 800,
+            hi: 899,
+        };
+        let template = Semantics::Informational(InfoKind::LearnedAt(0));
+        let resolved = p.resolve(template, C(6695, 842));
+        assert_eq!(
+            resolved,
+            Semantics::Informational(InfoKind::LearnedAt(42))
+        );
+    }
+
+    #[test]
+    fn low_range_region_action_resolution() {
+        let p = Pattern::LowRange {
+            high: 65100,
+            lo: 0,
+            hi: 9,
+        };
+        let template = Semantics::Action(Action::new(
+            ActionKind::DoNotAnnounceTo,
+            Target::Region(0),
+        ));
+        let resolved = p.resolve(template, C(65100, 4));
+        assert_eq!(
+            resolved,
+            Semantics::Action(Action::new(ActionKind::DoNotAnnounceTo, Target::Region(4)))
+        );
+    }
+
+    #[test]
+    fn exact_resolution_is_identity() {
+        let p = Pattern::Exact(C(65535, 666));
+        let s = Semantics::Action(Action::blackhole());
+        assert_eq!(p.resolve(s, C(65535, 666)), s);
+    }
+}

@@ -1,0 +1,125 @@
+//! Community semantics: every IXP-defined community is either
+//! *informational* (added by the RS to describe a route) or an *action*
+//! (added by a member to request traffic engineering — the paper's focus).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::Action;
+
+/// What an informational community conveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InfoKind {
+    /// Where the route was learned (location / PoP code).
+    LearnedAt(u16),
+    /// Origin classification (e.g. "learned from customer").
+    OriginClass(u16),
+    /// Route-server processing note (e.g. "passed RPKI check").
+    RsNote(u16),
+}
+
+impl fmt::Display for InfoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfoKind::LearnedAt(c) => write!(f, "learned at location {c}"),
+            InfoKind::OriginClass(c) => write!(f, "origin class {c}"),
+            InfoKind::RsNote(c) => write!(f, "route-server note {c}"),
+        }
+    }
+}
+
+/// The meaning of an IXP-defined community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Semantics {
+    /// Added by the IXP RS; describes the route.
+    Informational(InfoKind),
+    /// Added by a member; requests an action from the RS.
+    Action(Action),
+}
+
+impl Semantics {
+    /// True for action semantics.
+    pub const fn is_action(&self) -> bool {
+        matches!(self, Semantics::Action(_))
+    }
+
+    /// The action, if this is one.
+    pub const fn action(&self) -> Option<Action> {
+        match self {
+            Semantics::Action(a) => Some(*a),
+            Semantics::Informational(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Semantics::Informational(i) => write!(f, "info: {i}"),
+            Semantics::Action(a) => write!(f, "action: {a}"),
+        }
+    }
+}
+
+/// Classification outcome for one community instance on one route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Classification {
+    /// Defined by this IXP's dictionary.
+    IxpDefined(Semantics),
+    /// Not in the dictionary — operator-private or another network's value.
+    Unknown,
+}
+
+impl Classification {
+    /// True when the dictionary knew the community.
+    pub const fn is_ixp_defined(&self) -> bool {
+        matches!(self, Classification::IxpDefined(_))
+    }
+
+    /// The action, when IXP-defined action semantics.
+    pub const fn action(&self) -> Option<Action> {
+        match self {
+            Classification::IxpDefined(s) => s.action(),
+            Classification::Unknown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionKind, Target};
+    use bgp_model::asn::Asn;
+
+    #[test]
+    fn action_predicates() {
+        let a = Semantics::Action(Action::avoid(Asn(6939)));
+        let i = Semantics::Informational(InfoKind::LearnedAt(7));
+        assert!(a.is_action());
+        assert!(!i.is_action());
+        assert_eq!(a.action().unwrap().target, Target::Peer(Asn(6939)));
+        assert!(i.action().is_none());
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let c = Classification::IxpDefined(Semantics::Action(Action::new(
+            ActionKind::PrependTo(2),
+            Target::AllPeers,
+        )));
+        assert!(c.is_ixp_defined());
+        assert!(c.action().is_some());
+        assert!(!Classification::Unknown.is_ixp_defined());
+        assert!(Classification::Unknown.action().is_none());
+        let info = Classification::IxpDefined(Semantics::Informational(InfoKind::RsNote(1)));
+        assert!(info.is_ixp_defined());
+        assert!(info.action().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let s = Semantics::Informational(InfoKind::OriginClass(3));
+        assert_eq!(s.to_string(), "info: origin class 3");
+    }
+}

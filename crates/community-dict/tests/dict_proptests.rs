@@ -1,0 +1,84 @@
+//! Property tests for dictionary classification invariants.
+
+use bgp_model::community::{LargeCommunity, StandardCommunity};
+use community_dict::classify::{classify_large, large_fn};
+use community_dict::prelude::*;
+use proptest::prelude::*;
+
+fn arb_ixp() -> impl Strategy<Value = IxpId> {
+    proptest::sample::select(IxpId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The indexed lookup must agree with an exhaustive linear scan for
+    /// every community value, on every scheme.
+    #[test]
+    fn indexed_matches_linear(ixp in arb_ixp(), hi in any::<u16>(), lo in any::<u16>()) {
+        let dict = schemes::dictionary(ixp);
+        let c = StandardCommunity::from_parts(hi, lo);
+        prop_assert_eq!(dict.classify(c), dict.classify_linear(c));
+    }
+
+    /// Classification is a pure function of the dictionary: rebuilding the
+    /// dictionary from its own entries changes nothing.
+    #[test]
+    fn rebuild_is_stable(ixp in arb_ixp(), hi in any::<u16>(), lo in any::<u16>()) {
+        let dict = schemes::dictionary(ixp);
+        let rebuilt = Dictionary::new(ixp, dict.entries().to_vec());
+        prop_assert_eq!(rebuilt.len(), dict.len());
+        let c = StandardCommunity::from_parts(hi, lo);
+        prop_assert_eq!(rebuilt.classify(c), dict.classify(c));
+    }
+
+    /// The union of the two sources classifies at least everything the
+    /// RS-config alone classifies (monotonicity of union).
+    #[test]
+    fn union_is_monotone(ixp in arb_ixp(), hi in any::<u16>(), lo in any::<u16>()) {
+        let full = schemes::dictionary(ixp);
+        let rs_only = full.restricted_to(|s| s.rs_config);
+        let c = StandardCommunity::from_parts(hi, lo);
+        if rs_only.classify(c).is_ixp_defined() {
+            prop_assert!(full.classify(c).is_ixp_defined());
+        }
+    }
+
+    /// Every avoid/only community constructed by the scheme helpers must
+    /// classify to exactly the action it was constructed for.
+    #[test]
+    fn constructed_actions_classify_back(ixp in arb_ixp(), target in 1u32..64000) {
+        let dict = schemes::dictionary(ixp);
+        let asn = bgp_model::asn::Asn(target);
+        let c = schemes::avoid_community(ixp, asn);
+        let a = dict.classify(c).action().expect("avoid classifies");
+        // exact "all peers" values shadow a handful of target ASNs (e.g.
+        // 0:6695 means "all" at DE-CIX) — that is the documented scheme
+        if c != schemes::avoid_all_community(ixp) {
+            prop_assert_eq!(a, Action::avoid(asn));
+        }
+        let c = schemes::only_community(ixp, asn);
+        if c != schemes::announce_all_community(ixp)
+            && dict.classify(c).action().is_some()
+        {
+            let a = dict.classify(c).action().unwrap();
+            // informational exacts at 64000+ shadow the only-template there
+            if target < 64000 {
+                prop_assert_eq!(a, Action::only(asn));
+            }
+        }
+    }
+
+    /// Large-community classification only ever fires for the RS ASN as
+    /// global administrator.
+    #[test]
+    fn large_requires_rs_admin(ixp in arb_ixp(), g in any::<u32>(), arg in any::<u32>()) {
+        let c = LargeCommunity::new(g, large_fn::AVOID, arg);
+        let cl = classify_large(ixp, c);
+        if g != ixp.rs_asn().value() {
+            prop_assert_eq!(cl, Classification::Unknown);
+        } else {
+            prop_assert!(cl.is_ixp_defined());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-IXP calibration targets, straight from the paper's Table 1
+//! (latest snapshot, 4 Oct 2021).
+
+use serde::{Deserialize, Serialize};
+
+use community_dict::ixp::IxpId;
+
+/// Table 1 of the paper: the eight IXPs in numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IxpProfile {
+    /// Which IXP.
+    pub ixp: IxpId,
+    /// Average daily traffic, as printed (display only).
+    pub traffic: &'static str,
+    /// Total IXP members (including those not at the RS).
+    pub total_members: usize,
+    /// Members at the RS, IPv4.
+    pub members_rs_v4: usize,
+    /// Members at the RS, IPv6.
+    pub members_rs_v6: usize,
+    /// Observed distinct prefixes, IPv4.
+    pub prefixes_v4: usize,
+    /// Observed distinct prefixes, IPv6.
+    pub prefixes_v6: usize,
+    /// Observed routes, IPv4.
+    pub routes_v4: usize,
+    /// Observed routes, IPv6.
+    pub routes_v6: usize,
+}
+
+/// The Table 1 row for one IXP.
+pub const fn profile(ixp: IxpId) -> IxpProfile {
+    match ixp {
+        IxpId::IxBrSp => IxpProfile {
+            ixp,
+            traffic: "9.6 Tbps",
+            total_members: 2338,
+            members_rs_v4: 1803,
+            members_rs_v6: 1627,
+            prefixes_v4: 163_981,
+            prefixes_v6: 60_203,
+            routes_v4: 282_697,
+            routes_v6: 88_652,
+        },
+        IxpId::DeCixFra => IxpProfile {
+            ixp,
+            traffic: "9.27 Tbps",
+            total_members: 1072,
+            members_rs_v4: 874,
+            members_rs_v6: 711,
+            prefixes_v4: 451_544,
+            prefixes_v6: 65_395,
+            routes_v4: 888_478,
+            routes_v6: 130_084,
+        },
+        IxpId::Linx => IxpProfile {
+            ixp,
+            traffic: "3.8 Tbps",
+            total_members: 847,
+            members_rs_v4: 669,
+            members_rs_v6: 508,
+            prefixes_v4: 241_084,
+            prefixes_v6: 62_912,
+            routes_v4: 315_215,
+            routes_v6: 79_690,
+        },
+        IxpId::AmsIx => IxpProfile {
+            ixp,
+            traffic: "7.6 Tbps",
+            total_members: 861,
+            members_rs_v4: 636,
+            members_rs_v6: 488,
+            prefixes_v4: 252_704,
+            prefixes_v6: 61_528,
+            routes_v4: 252_704,
+            routes_v6: 61_528,
+        },
+        IxpId::DeCixMad => IxpProfile {
+            ixp,
+            traffic: "492 Gbps",
+            total_members: 214,
+            members_rs_v4: 151,
+            members_rs_v6: 85,
+            prefixes_v4: 116_237,
+            prefixes_v6: 45_321,
+            routes_v4: 125_812,
+            routes_v6: 48_711,
+        },
+        IxpId::DeCixNyc => IxpProfile {
+            ixp,
+            traffic: "941 Gbps",
+            total_members: 256,
+            members_rs_v4: 171,
+            members_rs_v6: 145,
+            prefixes_v4: 162_469,
+            prefixes_v6: 48_951,
+            routes_v4: 186_983,
+            routes_v6: 61_638,
+        },
+        IxpId::Bcix => IxpProfile {
+            ixp,
+            traffic: "640 Gbps",
+            total_members: 145,
+            members_rs_v4: 88,
+            members_rs_v6: 78,
+            prefixes_v4: 106_249,
+            prefixes_v6: 46_873,
+            routes_v4: 111_115,
+            routes_v6: 50_569,
+        },
+        IxpId::Netnod => IxpProfile {
+            ixp,
+            traffic: "1.12 Tbps",
+            total_members: 187,
+            members_rs_v4: 127,
+            members_rs_v6: 101,
+            prefixes_v4: 132_179,
+            prefixes_v6: 45_507,
+            routes_v4: 150_670,
+            routes_v6: 48_874,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs_members_fraction_matches_paper() {
+        // §3: RS members are on average 72.2% (v4) and 57.1% (v6) of total
+        let (mut v4_sum, mut v6_sum) = (0.0, 0.0);
+        for ixp in IxpId::ALL {
+            let p = profile(ixp);
+            v4_sum += p.members_rs_v4 as f64 / p.total_members as f64;
+            v6_sum += p.members_rs_v6 as f64 / p.total_members as f64;
+        }
+        let v4_avg = v4_sum / 8.0;
+        let v6_avg = v6_sum / 8.0;
+        assert!((v4_avg - 0.722).abs() < 0.02, "v4 avg {v4_avg}");
+        assert!((v6_avg - 0.571).abs() < 0.02, "v6 avg {v6_avg}");
+    }
+
+    #[test]
+    fn amsix_routes_equal_prefixes() {
+        // the Table 1 quirk: AMS-IX shows routes == prefixes
+        let p = profile(IxpId::AmsIx);
+        assert_eq!(p.routes_v4, p.prefixes_v4);
+        assert_eq!(p.routes_v6, p.prefixes_v6);
+    }
+
+    #[test]
+    fn route_ranges_match_paper_text() {
+        // §3: "111k–888k IPv4 and 48k–130k IPv6 routes"
+        let v4: Vec<usize> = IxpId::ALL.iter().map(|i| profile(*i).routes_v4).collect();
+        let v6: Vec<usize> = IxpId::ALL.iter().map(|i| profile(*i).routes_v6).collect();
+        assert_eq!(*v4.iter().min().unwrap(), 111_115);
+        assert_eq!(*v4.iter().max().unwrap(), 888_478);
+        assert_eq!(*v6.iter().min().unwrap(), 48_711);
+        assert_eq!(*v6.iter().max().unwrap(), 130_084);
+    }
+}

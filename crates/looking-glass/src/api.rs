@@ -1,0 +1,168 @@
+//! The Looking Glass API (modeled on the alice-lg style JSON APIs the
+//! paper scraped; see §3: "we collected daily snapshots of routing data
+//! from the IXP primary IPv4 and IPv6 RSes, using their LG API").
+//!
+//! Three endpoints:
+//! - **summary**: the member list with per-member accepted/filtered route
+//!   counts ("we first obtain a summary file with the list of peers,
+//!   along with the number of routes announced by each peer", §3);
+//! - **routes**: paginated accepted (or filtered) routes of one peer;
+//! - **rs-config**: the RS configuration's community list (dictionary
+//!   source #1).
+
+use serde::{Deserialize, Serialize};
+
+use bgp_model::asn::Asn;
+use bgp_model::prefix::Afi;
+use bgp_model::route::Route;
+use community_dict::entry::DictionaryEntry;
+use community_dict::ixp::IxpId;
+
+/// A request to the LG server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LgRequest {
+    /// Member list with route counts for one family.
+    Summary {
+        /// Address family.
+        afi: Afi,
+    },
+    /// One page of a peer's routes.
+    Routes {
+        /// Peer ASN.
+        peer: Asn,
+        /// Address family.
+        afi: Afi,
+        /// Accepted (false) or filtered (true) table.
+        filtered: bool,
+        /// Zero-based page index.
+        page: usize,
+    },
+    /// The RS configuration's community dictionary (structured).
+    RsConfig,
+    /// The RS configuration as text (the §3 artifact the paper fetched).
+    RsConfigText,
+}
+
+/// Summary row for one member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberSummary {
+    /// Member ASN.
+    pub asn: Asn,
+    /// Number of accepted routes in the requested family.
+    pub accepted_routes: usize,
+    /// Number of filtered routes in the requested family.
+    pub filtered_routes: usize,
+}
+
+/// Response payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LgResponse {
+    /// Response to [`LgRequest::Summary`].
+    Summary {
+        /// The IXP served.
+        ixp: IxpId,
+        /// One row per member with a session in the requested family.
+        members: Vec<MemberSummary>,
+    },
+    /// Response to [`LgRequest::Routes`].
+    Routes {
+        /// The routes of this page.
+        routes: Vec<Route>,
+        /// Page index served.
+        page: usize,
+        /// Total pages available.
+        total_pages: usize,
+    },
+    /// Response to [`LgRequest::RsConfig`].
+    RsConfig {
+        /// The dictionary entries the RS config lists.
+        entries: Vec<DictionaryEntry>,
+    },
+    /// Response to [`LgRequest::RsConfigText`].
+    RsConfigText {
+        /// The configuration file contents.
+        text: String,
+    },
+}
+
+/// Errors the LG can return (or the transport can surface).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LgError {
+    /// Query rate limit exceeded — retry later (§3: "query rate limits").
+    RateLimited,
+    /// Transient server failure (§3: "LG instability").
+    ServerError,
+    /// Unknown peer ASN.
+    UnknownPeer(Asn),
+    /// Page beyond the end.
+    PageOutOfRange {
+        /// Requested page.
+        page: usize,
+        /// Pages available.
+        total_pages: usize,
+    },
+    /// Transport-level failure (connection reset, malformed frame).
+    Transport(String),
+}
+
+impl std::fmt::Display for LgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LgError::RateLimited => write!(f, "rate limited"),
+            LgError::ServerError => write!(f, "server error"),
+            LgError::UnknownPeer(asn) => write!(f, "unknown peer {asn}"),
+            LgError::PageOutOfRange { page, total_pages } => {
+                write!(f, "page {page} out of range ({total_pages} pages)")
+            }
+            LgError::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LgError {}
+
+/// Routes per page served by the LG.
+pub const PAGE_SIZE: usize = 250;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_serde_roundtrip() {
+        let req = LgRequest::Routes {
+            peer: Asn(6939),
+            afi: Afi::Ipv4,
+            filtered: false,
+            page: 3,
+        };
+        let js = serde_json::to_string(&req).unwrap();
+        let back: LgRequest = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, req);
+
+        let resp = LgResponse::Summary {
+            ixp: IxpId::Linx,
+            members: vec![MemberSummary {
+                asn: Asn(39120),
+                accepted_routes: 10,
+                filtered_routes: 2,
+            }],
+        };
+        let js = serde_json::to_string(&resp).unwrap();
+        let back: LgResponse = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(LgError::RateLimited.to_string(), "rate limited");
+        assert_eq!(
+            LgError::PageOutOfRange {
+                page: 9,
+                total_pages: 3
+            }
+            .to_string(),
+            "page 9 out of range (3 pages)"
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! The Looking Glass server: serves a [`RouteServer`] with token-bucket
+//! rate limiting and injectable instability, the two phenomena that made
+//! the paper's collection "take several hours and [be] subject to
+//! communication failures" (§3).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use bgp_model::prefix::Afi;
+
+use route_server::server::RouteServer;
+
+use crate::api::{LgError, LgRequest, LgResponse, MemberSummary, PAGE_SIZE};
+
+/// Token-bucket rate limiter with an explicit clock (milliseconds).
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    capacity: f64,
+    tokens: f64,
+    refill_per_ms: f64,
+    last_ms: u64,
+}
+
+impl RateLimiter {
+    /// A bucket of `capacity` requests refilling at `per_second`.
+    pub fn new(capacity: u32, per_second: f64) -> Self {
+        RateLimiter {
+            capacity: capacity as f64,
+            tokens: capacity as f64,
+            refill_per_ms: per_second / 1000.0,
+            last_ms: 0,
+        }
+    }
+
+    /// Try to take one token at time `now_ms`.
+    pub fn try_acquire(&mut self, now_ms: u64) -> bool {
+        let elapsed = now_ms.saturating_sub(self.last_ms) as f64;
+        self.last_ms = now_ms;
+        self.tokens = (self.tokens + elapsed * self.refill_per_ms).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Probabilistic failure injection.
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    /// Probability a request fails with [`LgError::ServerError`].
+    pub error_rate: f64,
+    /// Probability a routes page is silently truncated (partial data —
+    /// the failure mode the paper's valley detection catches).
+    pub truncate_rate: f64,
+}
+
+impl FailureModel {
+    /// No failures.
+    pub const NONE: FailureModel = FailureModel {
+        error_rate: 0.0,
+        truncate_rate: 0.0,
+    };
+
+    /// The baseline instability of a busy public LG.
+    pub const FLAKY: FailureModel = FailureModel {
+        error_rate: 0.02,
+        truncate_rate: 0.002,
+    };
+
+    /// An outage day: most requests fail (drives §3's removed snapshots).
+    pub const OUTAGE: FailureModel = FailureModel {
+        error_rate: 0.7,
+        truncate_rate: 0.2,
+    };
+}
+
+/// The LG server fronting one route server.
+pub struct LgServer {
+    rs: Arc<RwLock<RouteServer>>,
+    limiter: RwLock<RateLimiter>,
+    failures: RwLock<FailureModel>,
+    rng: RwLock<StdRng>,
+}
+
+impl LgServer {
+    /// Wrap a route server with default limits (20 req/s, burst 40) and no
+    /// injected failures.
+    pub fn new(rs: Arc<RwLock<RouteServer>>, seed: u64) -> Self {
+        LgServer {
+            rs,
+            limiter: RwLock::new(RateLimiter::new(40, 20.0)),
+            failures: RwLock::new(FailureModel::NONE),
+            rng: RwLock::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Replace the failure model (e.g. for an outage day).
+    pub fn set_failures(&self, model: FailureModel) {
+        *self.failures.write() = model;
+    }
+
+    /// Replace the rate limiter.
+    pub fn set_limiter(&self, limiter: RateLimiter) {
+        *self.limiter.write() = limiter;
+    }
+
+    /// Shared handle to the underlying route server.
+    pub fn route_server(&self) -> Arc<RwLock<RouteServer>> {
+        Arc::clone(&self.rs)
+    }
+
+    /// Handle one request at time `now_ms`.
+    pub fn handle(&self, request: &LgRequest, now_ms: u64) -> Result<LgResponse, LgError> {
+        if !self.limiter.write().try_acquire(now_ms) {
+            return Err(LgError::RateLimited);
+        }
+        let (fail, truncate) = {
+            let failures = self.failures.read();
+            let mut guard = self.rng.write();
+            let rng: &mut StdRng = &mut guard;
+            (
+                rng.random::<f64>() < failures.error_rate,
+                rng.random::<f64>() < failures.truncate_rate,
+            )
+        };
+        if fail {
+            return Err(LgError::ServerError);
+        }
+        match request {
+            LgRequest::Summary { afi } => Ok(self.summary(*afi)),
+            LgRequest::Routes {
+                peer,
+                afi,
+                filtered,
+                page,
+            } => self.routes(*peer, *afi, *filtered, *page, truncate),
+            LgRequest::RsConfig => {
+                let ixp = self.rs.read().ixp();
+                Ok(LgResponse::RsConfig {
+                    entries: community_dict::schemes::rs_config_entries(ixp),
+                })
+            }
+            LgRequest::RsConfigText => {
+                let ixp = self.rs.read().ixp();
+                let entries = community_dict::schemes::rs_config_entries(ixp);
+                Ok(LgResponse::RsConfigText {
+                    text: community_dict::config_text::render(
+                        ixp.rs_asn(),
+                        ixp.short_name(),
+                        &entries,
+                    ),
+                })
+            }
+        }
+    }
+
+    fn summary(&self, afi: Afi) -> LgResponse {
+        let rs = self.rs.read();
+        let members = rs
+            .members_for(afi)
+            .map(|m| {
+                let accepted = rs
+                    .accepted()
+                    .peer(m.asn)
+                    .map(|t| t.iter_afi(afi).count())
+                    .unwrap_or(0);
+                let filtered = rs
+                    .filtered()
+                    .iter()
+                    .filter(|f| f.peer == m.asn && f.route.afi() == afi)
+                    .count();
+                MemberSummary {
+                    asn: m.asn,
+                    accepted_routes: accepted,
+                    filtered_routes: filtered,
+                }
+            })
+            .collect();
+        LgResponse::Summary {
+            ixp: rs.ixp(),
+            members,
+        }
+    }
+
+    fn routes(
+        &self,
+        peer: bgp_model::asn::Asn,
+        afi: Afi,
+        filtered: bool,
+        page: usize,
+        truncate: bool,
+    ) -> Result<LgResponse, LgError> {
+        let rs = self.rs.read();
+        if !rs.is_member(peer) {
+            return Err(LgError::UnknownPeer(peer));
+        }
+        let all: Vec<bgp_model::route::Route> = if filtered {
+            rs.filtered()
+                .iter()
+                .filter(|f| f.peer == peer && f.route.afi() == afi)
+                .map(|f| f.route.clone())
+                .collect()
+        } else {
+            rs.accepted()
+                .peer(peer)
+                .map(|t| t.iter_afi(afi).cloned().collect())
+                .unwrap_or_default()
+        };
+        let total_pages = all.len().div_ceil(PAGE_SIZE).max(1);
+        if page >= total_pages {
+            return Err(LgError::PageOutOfRange { page, total_pages });
+        }
+        let start = page * PAGE_SIZE;
+        let end = (start + PAGE_SIZE).min(all.len());
+        let mut routes = all[start..end].to_vec();
+        if truncate && routes.len() > 1 {
+            // silent partial data: drop the tail of the page
+            routes.truncate(routes.len() / 2);
+        }
+        Ok(LgResponse::Routes {
+            routes,
+            page,
+            total_pages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::asn::Asn;
+    use bgp_model::route::Route;
+    use community_dict::ixp::IxpId;
+
+    fn setup(seed: u64) -> LgServer {
+        let mut rs = RouteServer::for_ixp(IxpId::Linx);
+        rs.add_member(Asn(39120), true, false);
+        rs.add_member(Asn(6939), true, true);
+        for i in 0..5u8 {
+            let r = Route::builder(
+                format!("193.0.{i}.0/24").parse().unwrap(),
+                "198.32.0.7".parse().unwrap(),
+            )
+            .path([39120, 15169])
+            .build();
+            rs.announce(Asn(39120), r);
+        }
+        LgServer::new(Arc::new(RwLock::new(rs)), seed)
+    }
+
+    #[test]
+    fn summary_lists_members_with_counts() {
+        let lg = setup(1);
+        let LgResponse::Summary { ixp, members } = lg
+            .handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 0)
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(ixp, IxpId::Linx);
+        assert_eq!(members.len(), 2);
+        let m = members.iter().find(|m| m.asn == Asn(39120)).unwrap();
+        assert_eq!(m.accepted_routes, 5);
+        // v6 summary only lists the v6-capable member
+        let LgResponse::Summary { members, .. } = lg
+            .handle(&LgRequest::Summary { afi: Afi::Ipv6 }, 100)
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(members.len(), 1);
+    }
+
+    #[test]
+    fn routes_pagination() {
+        let lg = setup(2);
+        let LgResponse::Routes {
+            routes,
+            page,
+            total_pages,
+        } = lg
+            .handle(
+                &LgRequest::Routes {
+                    peer: Asn(39120),
+                    afi: Afi::Ipv4,
+                    filtered: false,
+                    page: 0,
+                },
+                200,
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((page, total_pages), (0, 1));
+        assert_eq!(routes.len(), 5);
+        // out of range
+        assert_eq!(
+            lg.handle(
+                &LgRequest::Routes {
+                    peer: Asn(39120),
+                    afi: Afi::Ipv4,
+                    filtered: false,
+                    page: 1,
+                },
+                300,
+            ),
+            Err(LgError::PageOutOfRange {
+                page: 1,
+                total_pages: 1
+            })
+        );
+        // unknown peer
+        assert_eq!(
+            lg.handle(
+                &LgRequest::Routes {
+                    peer: Asn(7),
+                    afi: Afi::Ipv4,
+                    filtered: false,
+                    page: 0,
+                },
+                400,
+            ),
+            Err(LgError::UnknownPeer(Asn(7)))
+        );
+    }
+
+    #[test]
+    fn rate_limiter_blocks_bursts_and_refills() {
+        let lg = setup(3);
+        lg.set_limiter(RateLimiter::new(2, 1.0)); // burst 2, 1/s
+        assert!(lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 0).is_ok());
+        assert!(lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 1).is_ok());
+        assert_eq!(
+            lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 2),
+            Err(LgError::RateLimited)
+        );
+        // one second later a token is back
+        assert!(lg
+            .handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 1100)
+            .is_ok());
+    }
+
+    #[test]
+    fn failure_injection_fails_requests() {
+        let lg = setup(4);
+        lg.set_failures(FailureModel {
+            error_rate: 1.0,
+            truncate_rate: 0.0,
+        });
+        assert_eq!(
+            lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 0),
+            Err(LgError::ServerError)
+        );
+        lg.set_failures(FailureModel::NONE);
+        assert!(lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 100).is_ok());
+    }
+
+    #[test]
+    fn truncation_drops_tail() {
+        let lg = setup(5);
+        lg.set_failures(FailureModel {
+            error_rate: 0.0,
+            truncate_rate: 1.0,
+        });
+        let LgResponse::Routes { routes, .. } = lg
+            .handle(
+                &LgRequest::Routes {
+                    peer: Asn(39120),
+                    afi: Afi::Ipv4,
+                    filtered: false,
+                    page: 0,
+                },
+                0,
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(routes.len(), 2); // 5 → truncated to half
+    }
+
+    #[test]
+    fn rs_config_endpoint_serves_dictionary_source() {
+        let lg = setup(6);
+        let LgResponse::RsConfig { entries } =
+            lg.handle(&LgRequest::RsConfig, 0).unwrap()
+        else {
+            panic!()
+        };
+        // the RS-config source is the incomplete one (§3)
+        assert!(!entries.is_empty());
+        assert!(entries.len() < community_dict::schemes::expected_len(IxpId::Linx));
+    }
+}

@@ -1,0 +1,262 @@
+//! TCP transport for the LG API: newline-delimited JSON frames, one
+//! request → one response per line, mirroring how real LGs sit behind a
+//! plain HTTP/JSON endpoint. Uses only `std::net` plus a thread per
+//! connection — the LG workload is a single paced collector connection
+//! (§3), not a high-fanout service.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::api::{LgError, LgRequest, LgResponse};
+use crate::client::LgTransport;
+use crate::server::LgServer;
+
+/// A running TCP LG server.
+pub struct TcpLgServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TcpLgServer {
+    /// Bind to `127.0.0.1:0` and serve `lg` until stopped. The server's
+    /// clock is milliseconds since start (the rate limiter sees real
+    /// pacing).
+    pub fn spawn(lg: Arc<LgServer>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let lg = Arc::clone(&lg);
+                        let stop = Arc::clone(&stop2);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(&lg, stream, start, &stop);
+                        }));
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // workers poll the stop flag on a read timeout, so joining
+            // here cannot deadlock even with clients still connected
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(TcpLgServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address to connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the acceptor thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpLgServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_connection(
+    lg: &LgServer,
+    mut stream: TcpStream,
+    start: Instant,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // A read timeout keeps the worker responsive to the stop flag even
+    // while a paced client sits idle between requests; partial reads are
+    // accumulated manually so a timeout never corrupts a frame.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let now_ms = start.elapsed().as_millis() as u64;
+            let result: Result<LgResponse, LgError> = match serde_json::from_str(&line) {
+                Ok(req) => lg.handle(&req, now_ms),
+                Err(e) => Err(LgError::Transport(format!("bad request: {e}"))),
+            };
+            let mut out = serde_json::to_string(&result)
+                .unwrap_or_else(|e| format!("{{\"Err\":{{\"Transport\":\"encode: {e}\"}}}}"));
+            out.push('\n');
+            writer.write_all(out.as_bytes())?;
+            writer.flush()?;
+        }
+    }
+}
+
+/// A client-side TCP connection to an LG.
+pub struct TcpLgClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpLgClient {
+    /// Connect to a [`TcpLgServer`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpLgClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+impl LgTransport for TcpLgClient {
+    fn is_real_time(&self) -> bool {
+        true
+    }
+
+    fn request(&mut self, req: &LgRequest, _now_ms: u64) -> Result<LgResponse, LgError> {
+        let mut line = serde_json::to_string(req)
+            .map_err(|e| LgError::Transport(format!("encode: {e}")))?;
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| LgError::Transport(format!("send: {e}")))?;
+        self.writer
+            .flush()
+            .map_err(|e| LgError::Transport(format!("flush: {e}")))?;
+        let mut resp = String::new();
+        self.reader
+            .read_line(&mut resp)
+            .map_err(|e| LgError::Transport(format!("recv: {e}")))?;
+        if resp.is_empty() {
+            return Err(LgError::Transport("connection closed".into()));
+        }
+        serde_json::from_str::<Result<LgResponse, LgError>>(&resp)
+            .map_err(|e| LgError::Transport(format!("decode: {e}")))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Collector;
+    use bgp_model::asn::Asn;
+    use bgp_model::prefix::Afi;
+    use bgp_model::route::Route;
+    use community_dict::ixp::IxpId;
+    use parking_lot::RwLock;
+    use route_server::server::RouteServer;
+
+    fn lg() -> Arc<LgServer> {
+        let mut rs = RouteServer::for_ixp(IxpId::Netnod);
+        rs.add_member(Asn(39120), true, false);
+        rs.add_member(Asn(6939), true, false);
+        for i in 0..30u8 {
+            let r = Route::builder(
+                format!("193.0.{i}.0/24").parse().unwrap(),
+                "198.32.0.7".parse().unwrap(),
+            )
+            .path([39120, 15169])
+            .build();
+            rs.announce(Asn(39120), r);
+        }
+        Arc::new(LgServer::new(Arc::new(RwLock::new(rs)), 42))
+    }
+
+    #[test]
+    fn tcp_roundtrip_single_request() {
+        let server = TcpLgServer::spawn(lg()).unwrap();
+        let mut client = TcpLgClient::connect(server.addr()).unwrap();
+        let resp = client
+            .request(&LgRequest::Summary { afi: Afi::Ipv4 }, 0)
+            .unwrap();
+        let LgResponse::Summary { ixp, members } = resp else {
+            panic!()
+        };
+        assert_eq!(ixp, IxpId::Netnod);
+        assert_eq!(members.len(), 2);
+        server.stop();
+    }
+
+    #[test]
+    fn full_collection_over_tcp() {
+        let server = TcpLgServer::spawn(lg()).unwrap();
+        let mut client = TcpLgClient::connect(server.addr()).unwrap();
+        let collector = Collector::default();
+        let report = collector.collect(&mut client, Afi::Ipv4, 0, 0).unwrap();
+        assert!(!report.snapshot.partial);
+        assert_eq!(report.snapshot.route_count(), 30);
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_transport_error() {
+        let server = TcpLgServer::spawn(lg()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"this is not json\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let result: Result<LgResponse, LgError> = serde_json::from_str(&line).unwrap();
+        assert!(matches!(result, Err(LgError::Transport(_))));
+        server.stop();
+    }
+
+    #[test]
+    fn two_clients_share_one_server() {
+        let server = TcpLgServer::spawn(lg()).unwrap();
+        let mut a = TcpLgClient::connect(server.addr()).unwrap();
+        let mut b = TcpLgClient::connect(server.addr()).unwrap();
+        assert!(a.request(&LgRequest::Summary { afi: Afi::Ipv4 }, 0).is_ok());
+        assert!(b.request(&LgRequest::Summary { afi: Afi::Ipv4 }, 0).is_ok());
+        assert!(a.request(&LgRequest::RsConfig, 0).is_ok());
+        server.stop();
+    }
+}

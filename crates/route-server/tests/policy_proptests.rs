@@ -1,0 +1,171 @@
+//! Property tests for the action-policy engine: the route server must
+//! honour every combination of action communities.
+
+use bgp_model::asn::Asn;
+use bgp_model::route::Route;
+use community_dict::ixp::IxpId;
+use community_dict::schemes;
+use proptest::prelude::*;
+use route_server::prelude::*;
+
+const IXP: IxpId = IxpId::DeCixFra;
+
+/// A pool of candidate peers (all 16-bit, non-bogon, mutually distinct).
+const PEERS: [u32; 6] = [39120, 6939, 15169, 13335, 20940, 2906];
+
+#[derive(Debug, Clone)]
+struct ActionSpec {
+    avoid: Vec<usize>,      // indexes into PEERS
+    only: Vec<usize>,       // indexes into PEERS
+    avoid_all: bool,
+    announce_all: bool,
+    prepend: Option<(usize, u8)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = ActionSpec> {
+    (
+        proptest::collection::vec(0usize..PEERS.len(), 0..4),
+        proptest::collection::vec(0usize..PEERS.len(), 0..4),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of((0usize..PEERS.len(), 1u8..=3)),
+    )
+        .prop_map(|(avoid, only, avoid_all, announce_all, prepend)| ActionSpec {
+            avoid,
+            only,
+            avoid_all,
+            announce_all,
+            prepend,
+        })
+}
+
+fn build_route(announcer: Asn, spec: &ActionSpec) -> Route {
+    let mut b = Route::builder(
+        "193.0.10.0/24".parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([announcer.value(), 50_000]);
+    for &i in &spec.avoid {
+        b = b.standard(schemes::avoid_community(IXP, Asn(PEERS[i])));
+    }
+    for &i in &spec.only {
+        b = b.standard(schemes::only_community(IXP, Asn(PEERS[i])));
+    }
+    if spec.avoid_all {
+        b = b.standard(schemes::avoid_all_community(IXP));
+    }
+    if spec.announce_all {
+        b = b.standard(schemes::announce_all_community(IXP));
+    }
+    if let Some((i, n)) = spec.prepend {
+        b = b.standard(schemes::prepend_community(IXP, Asn(PEERS[i]), n).unwrap());
+    }
+    b.build()
+}
+
+fn server_with_peers(announcer: Asn) -> RouteServer {
+    let mut rs = RouteServer::for_ixp(IXP);
+    rs.add_member(announcer, true, false);
+    for p in PEERS {
+        rs.add_member(Asn(p), true, false);
+    }
+    rs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ground rules, for every combination of actions:
+    /// 1. an explicitly avoided peer never receives the route;
+    /// 2. with an only-set and no announce-all, unlisted peers never do;
+    /// 3. with avoid-all and no announce-all, only only-listed peers do;
+    /// 4. exported routes carry no action communities (ActionsOnly scrub);
+    /// 5. prepends grow the path for the target only, never change origin.
+    #[test]
+    fn export_respects_all_action_combinations(spec in arb_spec()) {
+        let announcer = Asn(64000);
+        let mut rs = server_with_peers(announcer);
+        let route = build_route(announcer, &spec);
+        prop_assert_eq!(rs.announce(announcer, route), IngestOutcome::Accepted);
+
+        let dict = schemes::dictionary(IXP);
+        let avoided: Vec<Asn> = spec.avoid.iter().map(|&i| Asn(PEERS[i])).collect();
+        let onlyed: Vec<Asn> = spec.only.iter().map(|&i| Asn(PEERS[i])).collect();
+
+        for p in PEERS {
+            let peer = Asn(p);
+            let exported = rs.export_to(peer);
+            let got = !exported.is_empty();
+
+            // the reference semantics, straight from the docs
+            let expected = if avoided.contains(&peer) {
+                false
+            } else if onlyed.contains(&peer) {
+                true
+            } else if !onlyed.is_empty() && !spec.announce_all {
+                false
+            } else if spec.avoid_all && !spec.announce_all {
+                false
+            } else {
+                true
+            };
+            prop_assert_eq!(got, expected, "peer {} spec {:?}", peer, spec);
+
+            if let Some(r) = exported.first() {
+                // scrubbed: no action communities survive
+                for c in &r.standard_communities {
+                    prop_assert!(
+                        dict.classify(*c).action().is_none(),
+                        "action community {} leaked to {}",
+                        c,
+                        peer
+                    );
+                }
+                // prepend accounting
+                let base_len = 2;
+                let expected_prepend = match spec.prepend {
+                    Some((i, n)) if Asn(PEERS[i]) == peer => n as usize,
+                    _ => 0,
+                };
+                prop_assert_eq!(
+                    r.as_path.path_len(),
+                    base_len + expected_prepend,
+                    "peer {}",
+                    peer
+                );
+                prop_assert_eq!(r.as_path.first_asn(), Some(announcer));
+                prop_assert_eq!(r.as_path.origin_asn(), Some(Asn(50_000)));
+            }
+        }
+    }
+
+    /// Withdraw after announce always leaves the RS empty for that peer,
+    /// no matter the communities involved.
+    #[test]
+    fn announce_withdraw_is_clean(spec in arb_spec()) {
+        let announcer = Asn(64000);
+        let mut rs = server_with_peers(announcer);
+        let route = build_route(announcer, &spec);
+        let prefix = route.prefix;
+        rs.announce(announcer, route);
+        prop_assert!(rs.withdraw(announcer, &prefix));
+        for p in PEERS {
+            prop_assert!(rs.export_to(Asn(p)).is_empty());
+        }
+        prop_assert_eq!(rs.accepted().route_count(), 0);
+    }
+
+    /// The policy digest is a pure function: digesting the same route
+    /// twice gives the same decisions.
+    #[test]
+    fn digest_is_deterministic(spec in arb_spec()) {
+        let dict = schemes::dictionary(IXP);
+        let route = build_route(Asn(64000), &spec);
+        let a = RoutePolicy::digest(&dict, &route);
+        let b = RoutePolicy::digest(&dict, &route);
+        prop_assert_eq!(&a, &b);
+        for p in PEERS {
+            prop_assert_eq!(a.decide(Asn(p)), b.decide(Asn(p)));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A full BGP session at the wire level: the member's FSM and the route
+//! server's FSM negotiate OPEN/KEEPALIVE, the member streams UPDATE
+//! messages (with action communities) as raw bytes, and the delivered
+//! updates feed the route server.
+//!
+//! ```text
+//! cargo run --example bgp_session
+//! ```
+
+use bgp_wire::convert::routes_to_updates;
+use bgp_wire::fsm::{run_pair, Action, Config, Event, Fsm, State};
+use bytes::BytesMut;
+use ixp_actions::prelude::*;
+
+fn main() {
+    let ixp = IxpId::Netnod;
+    let member_asn = Asn(39120);
+    let rs_asn = ixp.rs_asn();
+
+    // the two endpoints of the session
+    let mut member_fsm = Fsm::new(Config::new(member_asn, "192.0.2.10".parse().unwrap()));
+    let mut rs_fsm = Fsm::new(Config {
+        expected_peer: Some(member_asn),
+        ..Config::new(rs_asn, "192.0.2.1".parse().unwrap())
+    });
+
+    // bring the session up (OPEN / OPEN / KEEPALIVE / KEEPALIVE)
+    let (member_acts, rs_acts) = run_pair(&mut member_fsm, &mut rs_fsm);
+    assert_eq!(member_fsm.state(), State::Established);
+    assert_eq!(rs_fsm.state(), State::Established);
+    println!(
+        "session established: member saw {:?}, RS saw {:?}",
+        member_acts
+            .iter()
+            .filter(|a| matches!(a, Action::SessionUp(_)))
+            .count(),
+        rs_acts
+            .iter()
+            .filter(|a| matches!(a, Action::SessionUp(_)))
+            .count()
+    );
+    let negotiated = rs_fsm.peer_open().expect("peer open");
+    println!(
+        "RS negotiated with {} (4-octet capability: {})",
+        negotiated.effective_asn(),
+        negotiated.effective_asn() == member_asn
+    );
+
+    // the member announces 50 routes, one avoid community each, encoded
+    // into real UPDATE messages
+    let routes: Vec<Route> = (0..50u8)
+        .map(|i| {
+            Route::builder(
+                format!("193.0.{i}.0/24").parse().unwrap(),
+                "198.32.0.7".parse().unwrap(),
+            )
+            .path([member_asn.value()])
+            .standard(schemes::avoid_community(ixp, Asn(15169)))
+            .build()
+        })
+        .collect();
+    let updates = routes_to_updates(&routes);
+    println!(
+        "encoding {} routes into {} UPDATE message(s)",
+        routes.len(),
+        updates.len()
+    );
+
+    // run the route server behind the RS-side FSM
+    let mut rs = RouteServer::for_ixp(ixp);
+    rs.add_member(member_asn, true, false);
+    rs.add_member(Asn(6939), true, false);
+
+    let mut total_bytes = 0usize;
+    for update in updates {
+        let Action::Send(wire) = member_fsm.send_update(update).expect("send") else {
+            unreachable!()
+        };
+        total_bytes += wire.len();
+        // bytes travel to the RS side; DeliverUpdate actions feed the RS
+        for act in rs_fsm.handle(Event::BytesReceived(BytesMut::from(&wire[..]))) {
+            if let Action::DeliverUpdate(update) = act {
+                for outcome in rs.ingest_update(member_asn, &update).expect("ingest") {
+                    assert_eq!(outcome, IngestOutcome::Accepted);
+                }
+            }
+        }
+    }
+    println!(
+        "streamed {total_bytes} bytes; RS accepted {} routes",
+        rs.stats().routes_accepted
+    );
+    assert_eq!(rs.accepted().route_count(), 50);
+
+    // the avoid action is live: Google would get nothing, HE gets all
+    rs.add_member(Asn(15169), true, false);
+    assert!(rs.export_to(Asn(15169)).is_empty());
+    assert_eq!(rs.export_to(Asn(6939)).len(), 50);
+    println!("avoid-community honoured on export (0 routes to the target, 50 to others)");
+
+    // orderly shutdown
+    let acts = member_fsm.handle(Event::ManualStop);
+    assert!(acts.iter().any(|a| matches!(a, Action::Send(_))));
+    println!("session closed with administrative CEASE");
+}

@@ -1,0 +1,93 @@
+//! DDoS mitigation via RFC 7999 blackholing at an IXP route server.
+//!
+//! A member under attack announces a /32 host route for the victim
+//! address tagged `65535:666`. At DE-CIX (which supports blackholing,
+//! §5.3) the RS accepts it despite the too-specific prefix, rewrites the
+//! next hop to the discard address, and propagates it with the BLACKHOLE
+//! community so peers drop the traffic. At IX.br (no blackhole support
+//! during the paper's window) the same announcement is filtered.
+//!
+//! ```text
+//! cargo run --example blackhole_ddos
+//! ```
+
+use ixp_actions::prelude::*;
+
+fn blackhole_announcement(victim: &str, from: Asn) -> Route {
+    Route::builder(
+        format!("{victim}/32").parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([from.value()])
+    .standard(well_known::BLACKHOLE)
+    .build()
+}
+
+fn main() {
+    let attacker_target = "193.0.10.66"; // the address under DDoS
+    let victim_as = Asn(39120);
+    let peer = Asn(6939);
+
+    // --- DE-CIX: blackholing supported ---
+    let mut decix = RouteServer::for_ixp(IxpId::DeCixFra);
+    decix.add_member(victim_as, true, false);
+    decix.add_member(peer, true, false);
+
+    println!("DE-CIX: {victim_as} announces {attacker_target}/32 with 65535:666");
+    let outcome = decix.announce(victim_as, blackhole_announcement(attacker_target, victim_as));
+    println!("  ingestion: {outcome:?}");
+    assert_eq!(outcome, IngestOutcome::Accepted);
+
+    let exported = decix.export_to(peer);
+    let bh = &exported[0];
+    println!(
+        "  exported to {peer}: {} next-hop {} (discard address) keeping 65535:666: {}",
+        bh.prefix,
+        bh.next_hop,
+        bh.has_standard(well_known::BLACKHOLE),
+    );
+    assert_eq!(bh.next_hop, decix.config().blackhole_next_hop_v4);
+    assert!(bh.has_standard(well_known::BLACKHOLE));
+
+    // longest-prefix match: only the attacked /32 is discarded, the
+    // covering /24 still routes normally
+    let covering = Route::builder(
+        "193.0.10.0/24".parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([victim_as.value()])
+    .build();
+    decix.announce(victim_as, covering);
+    let table: PeerRib = {
+        let mut t = PeerRib::new();
+        for r in decix.export_to(peer) {
+            t.announce(r);
+        }
+        t
+    };
+    let attacked = table
+        .longest_match(attacker_target.parse().unwrap())
+        .unwrap();
+    let neighbour = table.longest_match("193.0.10.1".parse().unwrap()).unwrap();
+    println!(
+        "  longest-prefix match: {attacker_target} -> {} (blackholed), 193.0.10.1 -> {} (normal)",
+        attacked.next_hop, neighbour.next_hop
+    );
+    assert_eq!(attacked.next_hop, decix.config().blackhole_next_hop_v4);
+    assert_ne!(neighbour.next_hop, decix.config().blackhole_next_hop_v4);
+
+    // --- IX.br: blackholing unsupported in the collection window ---
+    let mut ixbr = RouteServer::for_ixp(IxpId::IxBrSp);
+    ixbr.add_member(victim_as, true, false);
+    println!("\nIX.br-SP: the same announcement is rejected:");
+    let outcome = ixbr.announce(victim_as, blackhole_announcement(attacker_target, victim_as));
+    println!("  ingestion: {outcome:?}");
+    assert_eq!(
+        outcome,
+        IngestOutcome::Filtered(FilterReason::BlackholeUnsupported)
+    );
+    println!(
+        "  filtered routes kept for the LG's 'filtered' view: {}",
+        ixbr.filtered().len()
+    );
+}

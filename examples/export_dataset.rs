@@ -1,0 +1,68 @@
+//! Produce the release artifact: the paper publishes "a twelve-week
+//! dataset containing daily snapshots ... and a dictionary containing
+//! more than 3000 communities, allowing our results to be fully
+//! reproduced". This example collects snapshots for all eight IXPs,
+//! writes them to disk (MRT + JSON) together with the eight RS-config
+//! dictionary files, then reads everything back and re-runs an analysis
+//! on the imported copy to prove the dataset is self-contained.
+//!
+//! ```text
+//! cargo run --release --example export_dataset [output-dir]
+//! ```
+
+use ixp_actions::prelude::*;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("ixp-actions-dataset"));
+
+    let seed = 0x1C0FFEE;
+    let scale = 0.03;
+    println!("building all eight IXPs (scale {scale})...");
+    let scenario = ixp_sim::scenario::run(&ScenarioConfig {
+        world: WorldConfig { seed, scale },
+        ixps: IxpId::ALL.to_vec(),
+        failures: FailureModel::NONE,
+        day: 83,
+    });
+
+    println!("exporting dataset to {}", out_dir.display());
+    let index =
+        looking_glass::dataset::export(&out_dir, &scenario.store, seed, scale).expect("export");
+    println!(
+        "  {} snapshots, {} community instances, 8 dictionary files",
+        index.snapshots.len(),
+        index.community_instances
+    );
+
+    // the dictionaries on disk carry the full schemes (in RS-config form)
+    let text = std::fs::read_to_string(out_dir.join("dictionaries").join("DE-CIX.conf"))
+        .expect("dictionary file");
+    let entries = community_dict::config_text::parse(&text).expect("parse dictionary");
+    println!(
+        "  DE-CIX.conf: {} entries ({} in the full union dictionary)",
+        entries.len(),
+        schemes::expected_len(IxpId::DeCixFra)
+    );
+
+    // prove self-containment: import and re-run an analysis
+    let imported = looking_glass::dataset::import(&out_dir).expect("import");
+    assert_eq!(imported.len(), scenario.store.len());
+    let dict = schemes::dictionary(IxpId::IxBrSp);
+    let before = {
+        let snap = scenario.store.latest(IxpId::IxBrSp, Afi::Ipv4).unwrap();
+        ineffective(&View::new(snap, &dict))
+    };
+    let after = {
+        let snap = imported.latest(IxpId::IxBrSp, Afi::Ipv4).unwrap();
+        ineffective(&View::new(snap, &dict))
+    };
+    assert_eq!(before, after);
+    println!(
+        "\nre-ran §5.5 on the imported copy: {:.1}% ineffective at IX.br-SP — identical. ✓",
+        after.pct()
+    );
+    println!("dataset at {}", out_dir.display());
+}

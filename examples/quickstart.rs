@@ -1,0 +1,87 @@
+//! Quickstart: a route server executing action BGP communities.
+//!
+//! Builds a DE-CIX-style route server with three members, announces a
+//! route tagged "do not announce to Hurricane Electric", and shows the
+//! action being executed (and scrubbed) on export.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ixp_actions::prelude::*;
+
+fn main() {
+    let ixp = IxpId::DeCixFra;
+    let mut rs = RouteServer::for_ixp(ixp);
+
+    // three members: a regional ISP, Hurricane Electric, and Google
+    let isp = Asn(39120);
+    let he = Asn(6939);
+    let google = Asn(15169);
+    rs.add_member(isp, true, true);
+    rs.add_member(he, true, true);
+    rs.add_member(google, true, false);
+
+    // the ISP announces a prefix, asking the RS not to export it to HE
+    // (DE-CIX scheme: community 0:6939) and to prepend 2x towards Google
+    let route = Route::builder(
+        "193.0.10.0/24".parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([isp.value()])
+    .standard(schemes::avoid_community(ixp, he))
+    .standard(schemes::prepend_community(ixp, google, 2).expect("DE-CIX supports prepend"))
+    .build();
+
+    println!("announcing {} from {} with communities:", route.prefix, isp);
+    for c in &route.standard_communities {
+        let meaning = rs
+            .dictionary()
+            .semantics(*c)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "unknown".into());
+        println!("  {c}  ->  {meaning}");
+    }
+    assert_eq!(rs.announce(isp, route), IngestOutcome::Accepted);
+
+    // the RS tagged its informational communities on ingestion
+    let stored = rs
+        .accepted()
+        .peer(isp)
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .clone();
+    println!(
+        "\naccepted route now carries {} communities (RS added {} informational tags)",
+        stored.standard_communities.len(),
+        rs.config().info_tags
+    );
+
+    // export: HE must not receive the route, Google gets it prepended
+    let to_he = rs.export_to(he);
+    let to_google = rs.export_to(google);
+    println!("\nexport towards {he}: {} routes (action executed)", to_he.len());
+    assert!(to_he.is_empty());
+    let g = &to_google[0];
+    println!(
+        "export towards {google}: {} with AS path [{}] (2x prepend executed)",
+        g.prefix, g.as_path
+    );
+    assert_eq!(g.as_path.path_len(), 3);
+    // the executed action communities were scrubbed
+    assert!(g
+        .standard_communities
+        .iter()
+        .all(|c| rs.dictionary().classify(*c).action().is_none()));
+    println!(
+        "exported communities (actions scrubbed, informational kept): {:?}",
+        g.standard_communities
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    println!("\nRS stats: {:#?}", rs.stats());
+}

@@ -1,0 +1,91 @@
+//! Reproducibility: every experiment is a pure function of (seed, scale).
+
+use ixp_actions::prelude::*;
+
+#[test]
+fn same_seed_same_world_same_results() {
+    let cfg = WorldConfig {
+        seed: 77,
+        scale: 0.03,
+    };
+    let a = build_ixp(IxpId::AmsIx, &cfg);
+    let b = build_ixp(IxpId::AmsIx, &cfg);
+    assert_eq!(a.members, b.members);
+    assert_eq!(a.rs.accepted().route_count(), b.rs.accepted().route_count());
+    assert_eq!(a.rs.stats(), b.rs.stats());
+
+    // analyses agree bit-for-bit
+    let dict = schemes::dictionary(IxpId::AmsIx);
+    let snap = |w: &IxpWorld| {
+        let lg = LgServer::new(
+            std::sync::Arc::new(parking_lot::RwLock::new(w.rs.clone())),
+            1,
+        );
+        let mut t = &lg;
+        Collector::default()
+            .collect(&mut t, Afi::Ipv4, 0, 0)
+            .unwrap()
+            .snapshot
+    };
+    let (sa, sb) = (snap(&a), snap(&b));
+    assert_eq!(sa, sb);
+    let (va, vb) = (View::new(&sa, &dict), View::new(&sb, &dict));
+    assert_eq!(fig1(&va), fig1(&vb));
+    assert_eq!(fig3(&va), fig3(&vb));
+    assert_eq!(table2(&va), table2(&vb));
+    assert_eq!(ineffective(&va), ineffective(&vb));
+    assert_eq!(fig5(&va), fig5(&vb));
+}
+
+#[test]
+fn different_seeds_different_worlds_same_shapes() {
+    let dict = schemes::dictionary(IxpId::Linx);
+    let mut action_pcts = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let world = build_ixp(
+            IxpId::Linx,
+            &WorldConfig { seed, scale: 0.04 },
+        );
+        let lg = LgServer::new(
+            std::sync::Arc::new(parking_lot::RwLock::new(world.rs)),
+            seed,
+        );
+        let mut t = &lg;
+        let snap = Collector::default()
+            .collect(&mut t, Afi::Ipv4, 0, 0)
+            .unwrap()
+            .snapshot;
+        let view = View::new(&snap, &dict);
+        action_pcts.push(fig3(&view).action_pct());
+    }
+    // different seeds give different numbers...
+    assert!(action_pcts.windows(2).any(|w| w[0] != w[1]));
+    // ...but the same qualitative shape
+    for p in &action_pcts {
+        assert!((60.0..95.0).contains(p), "action {p:.1}%");
+    }
+}
+
+#[test]
+fn timeline_deterministic() {
+    let cfg = TimelineConfig {
+        seed: 5,
+        ..TimelineConfig::default()
+    };
+    let a = generate_series(IxpId::Bcix, Afi::Ipv4, &cfg);
+    let b = generate_series(IxpId::Bcix, Afi::Ipv4, &cfg);
+    assert_eq!(a.points, b.points);
+    assert_eq!(a.injected_outages, b.injected_outages);
+}
+
+#[test]
+fn dictionaries_are_static() {
+    for ixp in IxpId::ALL {
+        let a = schemes::dictionary(ixp);
+        let b = schemes::dictionary(ixp);
+        assert_eq!(a.len(), b.len());
+        for (ea, eb) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(ea, eb);
+        }
+    }
+}

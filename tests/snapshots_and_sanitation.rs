@@ -1,0 +1,138 @@
+//! Snapshot persistence (JSON + MRT) and the §3/§4 timeline machinery:
+//! valley sanitation, weekly selection, Table 3/4 stability bounds.
+
+use ixp_actions::prelude::*;
+
+fn small_snapshot() -> Snapshot {
+    let world = build_ixp(
+        IxpId::Netnod,
+        &WorldConfig {
+            seed: 3,
+            scale: 0.05,
+        },
+    );
+    let lg = LgServer::new(
+        std::sync::Arc::new(parking_lot::RwLock::new(world.rs)),
+        9,
+    );
+    let mut t = &lg;
+    Collector::default()
+        .collect(&mut t, Afi::Ipv4, 83, 0)
+        .unwrap()
+        .snapshot
+}
+
+#[test]
+fn snapshot_roundtrips_json_and_mrt() {
+    let snap = small_snapshot();
+    assert!(snap.route_count() > 100);
+    assert!(snap.community_instances() > snap.route_count());
+
+    // JSON (the LG-facing shape)
+    let js = serde_json::to_string(&snap).unwrap();
+    let back: Snapshot = serde_json::from_str(&js).unwrap();
+    assert_eq!(back, snap);
+
+    // MRT (the archive shape): routes survive bit-exact; session-only
+    // members are not representable, announcers must survive
+    let mrt = snap.to_mrt().unwrap();
+    let back = Snapshot::from_mrt(snap.ixp, snap.afi, mrt).unwrap();
+    assert_eq!(back.route_count(), snap.route_count());
+    assert_eq!(back.community_instances(), snap.community_instances());
+    let announcers: std::collections::BTreeSet<Asn> =
+        snap.announcing_members().into_iter().collect();
+    assert_eq!(
+        back.members.iter().copied().collect::<std::collections::BTreeSet<_>>(),
+        announcers
+    );
+}
+
+#[test]
+fn store_keeps_series_ordered_and_latest() {
+    let mut store = SnapshotStore::new();
+    let base = small_snapshot();
+    for day in [5u32, 1, 3] {
+        let mut s = base.clone();
+        s.day = day;
+        store.insert(s);
+    }
+    let days: Vec<u32> = store
+        .series(IxpId::Netnod, Afi::Ipv4)
+        .iter()
+        .map(|s| s.day)
+        .collect();
+    assert_eq!(days, vec![1, 3, 5]);
+    assert_eq!(store.latest(IxpId::Netnod, Afi::Ipv4).unwrap().day, 5);
+}
+
+#[test]
+fn timeline_sanitation_catches_outages_keeps_growth() {
+    let cfg = TimelineConfig {
+        seed: 0x1C0FFEE,
+        ..TimelineConfig::default()
+    };
+    let all = generate_all(&cfg);
+    assert_eq!(all.len(), 16); // 8 IXPs × 2 families
+    let mut caught = 0usize;
+    let mut injected = 0usize;
+    for s in &all {
+        let clean = s.sanitized();
+        injected += s.injected_outages.len();
+        caught += s
+            .injected_outages
+            .iter()
+            .filter(|d| !clean.iter().any(|p| p.day == **d))
+            .count();
+        // sanitation never removes the final (headline) snapshot
+        assert_eq!(clean.last().unwrap().day, 83, "{}/{}", s.ixp, s.afi);
+    }
+    // ≥95% of injected outages detected
+    assert!(
+        caught * 100 >= injected * 95,
+        "caught {caught} of {injected}"
+    );
+    // overall removed fraction close to the paper's 13.5%
+    let frac = injected as f64 / (16.0 * 84.0);
+    assert!((0.09..0.18).contains(&frac), "outage fraction {frac:.3}");
+}
+
+#[test]
+fn table3_table4_bounds() {
+    let cfg = TimelineConfig::default();
+    for s in generate_all(&cfg) {
+        // Table 3: last clean week varies < ~4.5% on every metric
+        let t3 = StabilityRow::from_points(s.ixp, s.afi, &s.last_week());
+        assert!(
+            t3.max_diff_pct() < 4.5,
+            "{}/{}: weekly {:.2}%",
+            s.ixp,
+            s.afi,
+            t3.max_diff_pct()
+        );
+        // Table 4: twelve weekly snapshots vary but stay under ~22%
+        let weekly = s.weekly();
+        assert!(weekly.len() >= 11);
+        let t4 = StabilityRow::from_points(s.ixp, s.afi, &weekly);
+        assert!(
+            t4.max_diff_pct() < 22.0,
+            "{}/{}: 12-week {:.2}%",
+            s.ixp,
+            s.afi,
+            t4.max_diff_pct()
+        );
+        // growth: the 12-week variation exceeds the weekly one
+        assert!(t4.max_diff_pct() > t3.members.diff_pct());
+    }
+}
+
+#[test]
+fn anchors_match_paper_table4() {
+    // spot-check the embedded Table 4 values
+    let a = ixp_sim::timeline::anchors(IxpId::IxBrSp, Afi::Ipv4);
+    assert_eq!(a.members, (1652, 1748));
+    assert_eq!(a.routes, (241_978, 282_697));
+    let a = ixp_sim::timeline::anchors(IxpId::DeCixFra, Afi::Ipv4);
+    assert_eq!(a.communities, (13_782_937, 14_851_619));
+    let a = ixp_sim::timeline::anchors(IxpId::Netnod, Afi::Ipv6);
+    assert_eq!(a.prefixes, (44_661, 45_507));
+}

@@ -1,0 +1,207 @@
+//! Wire-level integration: BGP sessions (FSM) carrying real UPDATE bytes
+//! into the route server, and the export path back out.
+
+use bgp_wire::convert::{routes_to_update, routes_to_updates, update_to_routes};
+use bgp_wire::fsm::{run_pair, Action, Config, Event, Fsm, State};
+use bgp_wire::message::{Message, UpdateMessage};
+use bytes::BytesMut;
+use ixp_actions::prelude::*;
+
+const IXP: IxpId = IxpId::DeCixFra;
+
+fn established_pair(member: Asn) -> (Fsm, Fsm) {
+    let mut m = Fsm::new(Config::new(member, "192.0.2.10".parse().unwrap()));
+    let mut r = Fsm::new(Config {
+        expected_peer: Some(member),
+        ..Config::new(IXP.rs_asn(), "192.0.2.1".parse().unwrap())
+    });
+    run_pair(&mut m, &mut r);
+    assert_eq!(m.state(), State::Established);
+    assert_eq!(r.state(), State::Established);
+    (m, r)
+}
+
+fn deliver(rs_fsm: &mut Fsm, wire: bytes::Bytes) -> Vec<UpdateMessage> {
+    rs_fsm
+        .handle(Event::BytesReceived(BytesMut::from(&wire[..])))
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::DeliverUpdate(u) => Some(u),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn session_update_ingest_export_roundtrip() {
+    let member = Asn(39120);
+    let (mut member_fsm, mut rs_fsm) = established_pair(member);
+    let mut rs = RouteServer::for_ixp(IXP);
+    rs.add_member(member, true, true);
+    rs.add_member(Asn(6939), true, true);
+
+    // announce two routes, one avoiding HE, over real bytes
+    let routes = vec![
+        Route::builder("193.0.10.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
+            .path([member.value()])
+            .standard(schemes::avoid_community(IXP, Asn(6939)))
+            .build(),
+        Route::builder("2a00:1450::/32".parse().unwrap(), "2001:7f8::1".parse().unwrap())
+            .path([member.value()])
+            .build(),
+    ];
+    for update in routes_to_updates(&routes) {
+        let Action::Send(wire) = member_fsm.send_update(update).unwrap() else {
+            panic!("send_update must produce bytes")
+        };
+        for update in deliver(&mut rs_fsm, wire) {
+            for outcome in rs.ingest_update(member, &update).unwrap() {
+                assert_eq!(outcome, IngestOutcome::Accepted);
+            }
+        }
+    }
+    assert_eq!(rs.accepted().route_count(), 2);
+
+    // HE receives only the v6 route (the v4 one avoids it)
+    let to_he = rs.export_to(Asn(6939));
+    assert_eq!(to_he.len(), 1);
+    assert_eq!(to_he[0].afi(), Afi::Ipv6);
+
+    // withdraw over the wire
+    let wd = UpdateMessage {
+        withdrawn: vec!["193.0.10.0/24".parse().unwrap()],
+        ..Default::default()
+    };
+    let Action::Send(wire) = member_fsm.send_update(wd).unwrap() else {
+        panic!()
+    };
+    for update in deliver(&mut rs_fsm, wire) {
+        rs.ingest_update(member, &update).unwrap();
+    }
+    assert_eq!(rs.accepted().route_count(), 1);
+    assert_eq!(rs.stats().routes_withdrawn, 1);
+}
+
+#[test]
+fn exported_routes_reencode_cleanly() {
+    // what the RS sends to peers must itself be valid wire traffic
+    let member = Asn(39120);
+    let mut rs = RouteServer::for_ixp(IXP);
+    rs.add_member(member, true, false);
+    rs.add_member(Asn(6939), true, false);
+    for i in 0..40u8 {
+        let r = Route::builder(
+            format!("193.0.{i}.0/24").parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([member.value()])
+        .standard(schemes::avoid_community(IXP, Asn(15169)))
+        .standard(schemes::info_community(IXP, i as u16))
+        .build();
+        assert_eq!(rs.announce(member, r), IngestOutcome::Accepted);
+    }
+    let exported = rs.export_to(Asn(6939));
+    assert_eq!(exported.len(), 40);
+    let updates = routes_to_updates(&exported);
+    let mut recovered = 0;
+    for u in updates {
+        let wire = Message::Update(u).encode().expect("within 4096 bytes");
+        let mut buf = BytesMut::from(&wire[..]);
+        let Some(Message::Update(dec)) = Message::decode(&mut buf).unwrap() else {
+            panic!()
+        };
+        recovered += update_to_routes(&dec).unwrap().announced.len();
+    }
+    assert_eq!(recovered, 40);
+}
+
+#[test]
+fn malformed_update_tears_session_down_but_not_rs() {
+    let member = Asn(39120);
+    let (_, mut rs_fsm) = established_pair(member);
+    let mut rs = RouteServer::for_ixp(IXP);
+    rs.add_member(member, true, false);
+
+    // a valid route first
+    let r = Route::builder("193.0.10.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
+        .path([member.value()])
+        .build();
+    let wire = Message::Update(routes_to_update(std::slice::from_ref(&r)))
+        .encode()
+        .unwrap();
+    for update in deliver(&mut rs_fsm, wire) {
+        rs.ingest_update(member, &update).unwrap();
+    }
+    assert_eq!(rs.accepted().route_count(), 1);
+
+    // then garbage: the FSM notifies and resets, the RS keeps its RIB
+    let acts = rs_fsm.handle(Event::BytesReceived(BytesMut::from(&[0u8; 40][..])));
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SessionDown(_))));
+    assert_eq!(rs_fsm.state(), State::Idle);
+    assert_eq!(rs.accepted().route_count(), 1);
+
+    // operational practice: session down removes the member's routes
+    rs.remove_member(member);
+    assert_eq!(rs.accepted().route_count(), 0);
+}
+
+#[test]
+fn route_refresh_triggers_full_readvertisement() {
+    // RFC 2918 end to end: the peer asks, the RS re-sends its export RIB
+    let member = Asn(39120);
+    let (mut member_fsm, mut rs_fsm) = established_pair(member);
+    let mut rs = RouteServer::for_ixp(IXP);
+    rs.add_member(member, true, false);
+    rs.add_member(Asn(6939), true, false);
+    for i in 0..7u8 {
+        let r = Route::builder(
+            format!("193.0.{i}.0/24").parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([member.value()])
+        .build();
+        rs.announce(member, r);
+    }
+
+    // the member asks for a refresh; the RS side surfaces the request
+    let Action::Send(wire) = member_fsm
+        .request_refresh(Afi::Ipv4)
+        .expect("refresh encodes")
+    else {
+        panic!()
+    };
+    let acts = rs_fsm.handle(Event::BytesReceived(BytesMut::from(&wire[..])));
+    assert_eq!(acts, vec![Action::RefreshRequested(Afi::Ipv4)]);
+
+    // the caller executes it: re-export and stream back over the session
+    let routes = rs.export_to(member);
+    assert_eq!(routes.len(), 0, "a member never hears its own routes");
+    let routes = rs.export_to(Asn(6939));
+    assert_eq!(routes.len(), 7);
+    let mut delivered = 0;
+    for u in routes_to_updates(&routes) {
+        let Action::Send(wire) = rs_fsm.send_update(u).unwrap() else {
+            panic!()
+        };
+        for act in member_fsm.handle(Event::BytesReceived(BytesMut::from(&wire[..]))) {
+            if let Action::DeliverUpdate(u) = act {
+                delivered += update_to_routes(&u).unwrap().announced.len();
+            }
+        }
+    }
+    assert_eq!(delivered, 7);
+}
+
+#[test]
+fn hold_timer_expiry_after_silence() {
+    let member = Asn(39120);
+    let (mut member_fsm, _) = established_pair(member);
+    // no traffic for 91 seconds
+    let acts = member_fsm.handle(Event::Tick { now_ms: 91_000 });
+    assert!(acts.iter().any(|a| matches!(
+        a,
+        Action::SessionDown(bgp_wire::fsm::DownReason::HoldTimerExpired)
+    )));
+}
