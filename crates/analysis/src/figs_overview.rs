@@ -187,9 +187,9 @@ mod tests {
         )
         .path([39120])
         .standards(vec![
-            schemes::avoid_community(ixp, Asn(6939)),      // action
-            schemes::info_community(ixp, 1),               // info
-            StandardCommunity::from_parts(3356, 70),       // unknown
+            schemes::avoid_community(ixp, Asn(6939)), // action
+            schemes::info_community(ixp, 1),          // info
+            StandardCommunity::from_parts(3356, 70),  // unknown
         ])
         .build();
         r1.large_communities = vec![

@@ -28,8 +28,8 @@
 pub mod actions;
 pub mod core;
 pub mod fig4;
-pub mod overlap;
 pub mod figs_overview;
+pub mod overlap;
 pub mod report;
 pub mod summary;
 pub mod tables;

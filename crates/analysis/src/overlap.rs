@@ -126,7 +126,9 @@ mod tests {
         let shared = ov.pairwise(IxpId::Linx, IxpId::AmsIx);
         assert_eq!(
             shared,
-            [Asn(16276), Asn(20940)].into_iter().collect::<BTreeSet<_>>()
+            [Asn(16276), Asn(20940)]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
         assert_eq!(ov.common().len(), 2);
         let names = ov.common_names();

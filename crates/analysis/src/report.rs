@@ -30,7 +30,8 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: ToString,
     {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
         self
     }
 

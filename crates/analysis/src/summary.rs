@@ -121,9 +121,7 @@ pub fn full_report(store: &SnapshotStore, dicts: &[(IxpId, Dictionary)]) -> Full
 impl FullReport {
     /// The report for one (IXP, family).
     pub fn get(&self, ixp: IxpId, afi: Afi) -> Option<&SnapshotReport> {
-        self.snapshots
-            .iter()
-            .find(|r| r.ixp == ixp && r.afi == afi)
+        self.snapshots.iter().find(|r| r.ixp == ixp && r.afi == afi)
     }
 }
 

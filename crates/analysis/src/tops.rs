@@ -48,11 +48,7 @@ pub struct TopCommunities {
     pub top: Vec<RankedCommunity>,
 }
 
-fn rank_communities(
-    view: &View<'_>,
-    limit: usize,
-    only_nonmember_targets: bool,
-) -> TopCommunities {
+fn rank_communities(view: &View<'_>, limit: usize, only_nonmember_targets: bool) -> TopCommunities {
     let mut counts: BTreeMap<StandardCommunity, (Action, u64)> = BTreeMap::new();
     let mut total_all = 0u64;
     let mut total_scope = 0u64;
@@ -64,10 +60,8 @@ fn rank_communities(
         total_scope += 1;
         counts.entry(community).or_insert((action, 0)).1 += 1;
     }
-    let mut ranked: Vec<(StandardCommunity, Action, u64)> = counts
-        .into_iter()
-        .map(|(c, (a, n))| (c, a, n))
-        .collect();
+    let mut ranked: Vec<(StandardCommunity, Action, u64)> =
+        counts.into_iter().map(|(c, (a, n))| (c, a, n)).collect();
     ranked.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
     ranked.truncate(limit);
     let top = ranked
@@ -76,7 +70,7 @@ fn rank_communities(
             let target_name = action
                 .target
                 .peer_asn()
-                .map(|a| known::name_of(a))
+                .map(known::name_of)
                 .unwrap_or_else(|| action.target.to_string());
             let verb = match action.kind.group() {
                 ActionGroup::DoNotAnnounceTo => "do not announce to",

@@ -35,7 +35,9 @@ fn sample_communities() -> Vec<StandardCommunity> {
 }
 
 fn classify_all(dict: &Dictionary, cs: &[StandardCommunity]) -> usize {
-    cs.iter().filter(|c| dict.classify(**c).is_ixp_defined()).count()
+    cs.iter()
+        .filter(|c| dict.classify(**c).is_ixp_defined())
+        .count()
 }
 
 fn ablation_dict(c: &mut Criterion) {

@@ -1,0 +1,191 @@
+//! Observability overhead: what the obs registry costs on the hottest
+//! path in the system, route-server ingestion.
+//!
+//! Three questions, answered in order:
+//!
+//! 1. raw handle cost — what does one `Counter::inc` / one
+//!    `Histogram::record` cost, enabled and no-op?
+//! 2. allocation freedom — once a handle is minted, the record path must
+//!    never touch the allocator (asserted with a counting global
+//!    allocator, not eyeballed);
+//! 3. end-to-end — RS ingest with a live registry vs `Registry::noop()`,
+//!    with the measured overhead printed and gated at <5%.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bgp_model::asn::Asn;
+use bgp_model::route::Route;
+use community_dict::ixp::IxpId;
+use community_dict::schemes;
+use route_server::config::RsConfig;
+use route_server::server::RouteServer;
+
+/// System allocator wrapped with an allocation counter so the bench can
+/// *prove* the handle path is allocation-free rather than assume it.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const IXP: IxpId = IxpId::DeCixFra;
+
+fn server(registry: &obs::Registry) -> RouteServer {
+    let mut rs = RouteServer::with_registry(RsConfig::for_ixp(IXP), registry);
+    for i in 0..50u32 {
+        rs.add_member(Asn(40_000 + i), true, false);
+    }
+    rs.add_member(Asn(6939), true, false);
+    rs
+}
+
+fn tagged_route(i: u32) -> Route {
+    Route::builder(
+        format!("11.{}.{}.0/24", i / 256, i % 256).parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([40_000 + (i % 50), 15169])
+    .standards((0..4).map(|k| schemes::avoid_community(IXP, Asn(41_000 + k))))
+    .build()
+}
+
+fn announce_all(rs: &mut RouteServer, routes: &[Route]) -> u64 {
+    for (i, r) in routes.iter().enumerate() {
+        rs.announce(Asn(40_000 + (i as u32 % 50)), r.clone());
+    }
+    rs.stats().routes_accepted
+}
+
+fn bench_handles(c: &mut Criterion) {
+    let registry = obs::Registry::new();
+    let live_counter = registry.counter("bench.counter");
+    let live_hist = registry.histogram("bench.hist");
+    let noop_counter = obs::Counter::noop();
+    let noop_hist = obs::Histogram::noop();
+
+    let mut group = c.benchmark_group("obs_handles");
+    group.bench_function("counter_inc_live", |b| b.iter(|| live_counter.inc()));
+    group.bench_function("counter_inc_noop", |b| b.iter(|| noop_counter.inc()));
+    group.bench_function("histogram_record_live", |b| {
+        b.iter(|| live_hist.record(black_box(1234)))
+    });
+    group.bench_function("histogram_record_noop", |b| {
+        b.iter(|| noop_hist.record(black_box(1234)))
+    });
+    group.finish();
+}
+
+/// The hot handle path must not allocate: minting a handle may (name
+/// interning, map insert), but `inc`/`add`/`set`/`record`/timer must not.
+fn assert_handles_allocation_free() {
+    let registry = obs::Registry::new();
+    // mint every handle *before* the measured window
+    let counter = registry.counter("alloc.counter");
+    let gauge = registry.gauge("alloc.gauge");
+    let hist = registry.histogram("alloc.hist");
+    // warm up any lazy state (first-record min/max etc.)
+    counter.inc();
+    gauge.set(1);
+    hist.record(1);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(i);
+        gauge.set(i as i64);
+        gauge.add(1);
+        hist.record(i);
+        let timer = hist.start();
+        timer.stop();
+    }
+    let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocated, 0,
+        "handle hot path allocated {allocated} times in 10k iterations"
+    );
+    println!("obs_alloc_check: 70k handle ops, 0 allocations ... ok");
+}
+
+fn bench_ingest_overhead(c: &mut Criterion) {
+    let routes: Vec<Route> = (0..500).map(tagged_route).collect();
+
+    let mut group = c.benchmark_group("rs_ingest_telemetry");
+    group.bench_function("announce_500_metrics_live", |b| {
+        let registry = obs::Registry::new();
+        b.iter_batched(
+            || server(&registry),
+            |mut rs| black_box(announce_all(&mut rs, &routes)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("announce_500_metrics_noop", |b| {
+        let registry = obs::Registry::noop();
+        b.iter_batched(
+            || server(&registry),
+            |mut rs| black_box(announce_all(&mut rs, &routes)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // A paired A/B measurement for the acceptance gate: same workload,
+    // interleaved rounds so frequency scaling hits both arms equally.
+    let measure = |registry: &obs::Registry| {
+        let mut rs = server(registry);
+        let start = std::time::Instant::now();
+        black_box(announce_all(&mut rs, &routes));
+        start.elapsed().as_nanos() as u64
+    };
+    let live_registry = obs::Registry::new();
+    let noop_registry = obs::Registry::noop();
+    // warm-up
+    measure(&live_registry);
+    measure(&noop_registry);
+    let rounds = 30;
+    let (mut live, mut noop) = (u64::MAX, u64::MAX);
+    for _ in 0..rounds {
+        live = live.min(measure(&live_registry));
+        noop = noop.min(measure(&noop_registry));
+    }
+    let overhead = (live as f64 - noop as f64) / noop as f64 * 100.0;
+    println!(
+        "rs_ingest_telemetry/overhead: live {:.2} ms vs noop {:.2} ms -> {overhead:+.2}% (best of {rounds})",
+        live as f64 / 1e6,
+        noop as f64 / 1e6,
+    );
+    assert!(
+        overhead < 5.0,
+        "metrics overhead {overhead:.2}% exceeds the 5% budget"
+    );
+}
+
+fn run_alloc_check(_c: &mut Criterion) {
+    assert_handles_allocation_free();
+}
+
+criterion_group!(
+    benches,
+    bench_handles,
+    run_alloc_check,
+    bench_ingest_overhead
+);
+criterion_main!(benches);

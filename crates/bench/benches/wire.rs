@@ -75,7 +75,9 @@ fn bench_mrt(c: &mut Criterion) {
         .collect();
     let dump = MrtRibDump::from_routes(
         0,
-        routes.iter().map(|r| (r.as_path.first_asn().unwrap_or(Asn(1)), r)),
+        routes
+            .iter()
+            .map(|r| (r.as_path.first_asn().unwrap_or(Asn(1)), r)),
     );
     let wire = dump.encode().unwrap();
     let mut group = c.benchmark_group("mrt");
@@ -87,5 +89,10 @@ fn bench_mrt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_update_codec, bench_update_to_routes, bench_mrt);
+criterion_group!(
+    benches,
+    bench_update_codec,
+    bench_update_to_routes,
+    bench_mrt
+);
 criterion_main!(benches);

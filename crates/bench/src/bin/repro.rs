@@ -125,13 +125,23 @@ fn main() {
         .collect();
     }
 
+    let registry = obs::global();
+    registry.enable_events(4096);
+    let baseline = registry.snapshot();
+
     let needs_world = experiments
         .iter()
         .any(|e| !matches!(e.as_str(), "table3" | "table4" | "sanitation"));
     // (the overlap analysis also needs the world)
     let ctx = if needs_world {
-        eprintln!("building world (scale {scale}, seed {seed}, {} IXPs)...", ixps.len());
-        let (store, dicts) = standard_scenario(seed, scale, &ixps);
+        eprintln!(
+            "building world (scale {scale}, seed {seed}, {} IXPs)...",
+            ixps.len()
+        );
+        let (store, dicts) = {
+            let _stage = registry.histogram("repro.build_world").start();
+            standard_scenario(seed, scale, &ixps)
+        };
         Ctx {
             store,
             dicts: ixps.iter().copied().zip(dicts).collect(),
@@ -151,10 +161,7 @@ fn main() {
 
     if let Some(path) = &json_out {
         // the machine-readable counterpart: every analysis, one JSON file
-        let report = analysis::summary::full_report(
-            &ctx.store,
-            &ctx.dicts,
-        );
+        let report = analysis::summary::full_report(&ctx.store, &ctx.dicts);
         match serde_json::to_vec_pretty(&report) {
             Ok(bytes) => {
                 if let Err(e) = std::fs::write(path, bytes) {
@@ -168,6 +175,7 @@ fn main() {
     }
 
     for e in &experiments {
+        let _stage = registry.histogram(&format!("repro.{e}")).start();
         match e.as_str() {
             "table1" => run_table1(&ctx),
             "fig1" => run_fig1(&ctx),
@@ -189,13 +197,36 @@ fn main() {
             other => eprintln!("unknown experiment: {other}"),
         }
     }
+
+    // Per-stage telemetry: what this run did, end to end. The report shows
+    // everything recorded since the baseline taken at startup; the JSON
+    // snapshot lands next to the tables (under --csv DIR when given).
+    let telemetry = registry.snapshot().diff(&baseline);
+    println!("=== run telemetry ===");
+    print!("{}", obs::render_report(&telemetry, 10));
+    let telemetry_path = match &csv_dir {
+        Some(dir) if dir.is_dir() || std::fs::create_dir_all(dir).is_ok() => {
+            dir.join("telemetry.json")
+        }
+        _ => std::path::PathBuf::from("telemetry.json"),
+    };
+    match std::fs::write(&telemetry_path, telemetry.to_json()) {
+        Ok(()) => eprintln!("telemetry: wrote {}", telemetry_path.display()),
+        Err(e) => eprintln!("telemetry: cannot write {}: {e}", telemetry_path.display()),
+    }
 }
 
 fn run_table1(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Table 1 — the IXPs in numbers (latest snapshot, scaled world)",
         &[
-            "IXP", "Location", "MembRS-v4", "MembRS-v6", "Pfx-v4", "Pfx-v6", "Routes-v4",
+            "IXP",
+            "Location",
+            "MembRS-v4",
+            "MembRS-v6",
+            "Pfx-v4",
+            "Pfx-v6",
+            "Routes-v4",
             "Routes-v6",
         ],
     );
@@ -225,11 +256,20 @@ fn run_fig1(ctx: &Ctx) {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     let mut t = TextTable::new(
         "Fig. 1 — IXP-defined vs unknown communities",
-        &["IXP", "AFI", "Total", "Defined%", "Unknown%", "Paper(def/unk v4)"],
+        &[
+            "IXP",
+            "AFI",
+            "Total",
+            "Defined%",
+            "Unknown%",
+            "Paper(def/unk v4)",
+        ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let f = fig1(&view);
             let paper = if afi == Afi::Ipv4 {
                 paper::fig1_v4(*ixp)
@@ -266,11 +306,21 @@ fn run_fig1(ctx: &Ctx) {
 fn run_fig2(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Fig. 2 — community types among IXP-defined",
-        &["IXP", "AFI", "Defined", "Std%", "Ext%", "Large%", "Paper std% (v4)"],
+        &[
+            "IXP",
+            "AFI",
+            "Defined",
+            "Std%",
+            "Ext%",
+            "Large%",
+            "Paper std% (v4)",
+        ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let f = fig2(&view);
             let paper = if afi == Afi::Ipv4 {
                 paper::fig2_standard_v4(*ixp)
@@ -296,11 +346,20 @@ fn run_fig2(ctx: &Ctx) {
 fn run_fig3(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Fig. 3 — action vs informational (standard, IXP-defined)",
-        &["IXP", "AFI", "Total", "Action%", "Info%", "Paper(action/info v4)"],
+        &[
+            "IXP",
+            "AFI",
+            "Total",
+            "Action%",
+            "Info%",
+            "Paper(action/info v4)",
+        ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let f = fig3(&view);
             let paper = if afi == Afi::Ipv4 {
                 paper::fig3_v4(*ixp)
@@ -326,12 +385,20 @@ fn run_fig4a(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Fig. 4a — ASes and routes using action communities",
         &[
-            "IXP", "AFI", "ASes", "ASes%", "Routes", "Routes%", "Paper(ASes% v4/v6, routes% v4)",
+            "IXP",
+            "AFI",
+            "ASes",
+            "ASes%",
+            "Routes",
+            "Routes%",
+            "Paper(ASes% v4/v6, routes% v4)",
         ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let f = fig4a(&view);
             let paper = if afi == Afi::Ipv4 {
                 paper::fig4a(*ixp)
@@ -358,10 +425,19 @@ fn run_fig4b(ctx: &Ctx) {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     let mut t = TextTable::new(
         "Fig. 4b — skew of action-community usage across ASes (IPv4)",
-        &["IXP", "Total", "Top1%", "Top10%", "Bottom90%", "Paper top1% (v4)"],
+        &[
+            "IXP",
+            "Total",
+            "Top1%",
+            "Top10%",
+            "Bottom90%",
+            "Paper top1% (v4)",
+        ],
     );
     for ixp in &ctx.ixps {
-        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else {
+            continue;
+        };
         let f = fig4b(&view);
         let paper = paper::fig4b_top1pct(*ixp)
             .map(|p| format!("~{:.0}%", p * 100.0))
@@ -394,10 +470,19 @@ fn run_fig4c(ctx: &Ctx) {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     let mut t = TextTable::new(
         "Fig. 4c — correlation between route share and action share (IPv4)",
-        &["IXP", "ASes", "log-corr", "UpperLeft", "BottomRight", "Paper"],
+        &[
+            "IXP",
+            "ASes",
+            "log-corr",
+            "UpperLeft",
+            "BottomRight",
+            "Paper",
+        ],
     );
     for ixp in &ctx.ixps {
-        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else {
+            continue;
+        };
         let f = fig4c(&view);
         let (ul, br) = f.asymmetry();
         t.row([
@@ -420,7 +505,12 @@ fn run_fig4c(ctx: &Ctx) {
     println!("{}", t.render());
     ctx.csv(
         "fig4c_scatter",
-        &["ixp", "asn", "fraction_of_action_communities", "fraction_of_routes"],
+        &[
+            "ixp",
+            "asn",
+            "fraction_of_action_communities",
+            "fraction_of_routes",
+        ],
         &csv_rows,
     );
 }
@@ -429,13 +519,20 @@ fn run_table2(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Table 2 — ASes using each action type",
         &[
-            "IXP", "AFI", "DoNotAnnounce", "AnnounceOnly", "Prepend", "Blackhole",
+            "IXP",
+            "AFI",
+            "DoNotAnnounce",
+            "AnnounceOnly",
+            "Prepend",
+            "Blackhole",
             "Paper % (v4)",
         ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let tb = table2(&view);
             let cell = |g: ActionGroup| format!("{} ({})", tb.count(g), pct1(tb.pct(g)));
             let paper = if afi == Afi::Ipv4 {
@@ -462,11 +559,21 @@ fn run_table2(ctx: &Ctx) {
 fn run_type_counts(ctx: &Ctx) {
     let mut t = TextTable::new(
         "§5.3 — action instances per type",
-        &["IXP", "AFI", "Total", "Avoid%", "Only%", "Prepend%", "Blackhole%"],
+        &[
+            "IXP",
+            "AFI",
+            "Total",
+            "Avoid%",
+            "Only%",
+            "Prepend%",
+            "Blackhole%",
+        ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let tc = type_counts(&view);
             t.row([
                 ixp.short_name().to_string(),
@@ -487,7 +594,9 @@ fn run_type_counts(ctx: &Ctx) {
 fn run_fig5(ctx: &Ctx) {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for ixp in &ctx.ixps {
-        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else {
+            continue;
+        };
         let f = fig5(&view);
         let mut t = TextTable::new(
             format!(
@@ -528,7 +637,9 @@ fn run_fig5(ctx: &Ctx) {
 
 fn run_fig6(ctx: &Ctx) {
     for ixp in &ctx.ixps {
-        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else {
+            continue;
+        };
         let f = fig6(&view);
         let mut t = TextTable::new(
             format!(
@@ -557,11 +668,20 @@ fn run_fig6(ctx: &Ctx) {
 fn run_ineffective(ctx: &Ctx) {
     let mut t = TextTable::new(
         "§5.5 — action communities targeting ASes not at the RS",
-        &["IXP", "AFI", "Actions", "Ineffective", "Share", "Paper share"],
+        &[
+            "IXP",
+            "AFI",
+            "Actions",
+            "Ineffective",
+            "Share",
+            "Paper share",
+        ],
     );
     for ixp in &ctx.ixps {
         for afi in AFIS {
-            let Some((view, _)) = ctx.view(*ixp, afi) else { continue };
+            let Some((view, _)) = ctx.view(*ixp, afi) else {
+                continue;
+            };
             let i = ineffective(&view);
             let paper = match afi {
                 Afi::Ipv4 => paper::ineffective_v4(*ixp),
@@ -585,7 +705,9 @@ fn run_ineffective(ctx: &Ctx) {
 fn run_fig7(ctx: &Ctx) {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for ixp in &ctx.ixps {
-        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else { continue };
+        let Some((view, _)) = ctx.view(*ixp, Afi::Ipv4) else {
+            continue;
+        };
         let f = fig7(&view, 10);
         let mut t = TextTable::new(
             format!(
@@ -640,7 +762,12 @@ fn run_table3(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Table 3 — variation across seven daily snapshots (last clean week)",
         &[
-            "IXP", "AFI", "Memb min–max (diff%)", "Pfx diff%", "Routes diff%", "Comm diff%",
+            "IXP",
+            "AFI",
+            "Memb min–max (diff%)",
+            "Pfx diff%",
+            "Routes diff%",
+            "Comm diff%",
         ],
     );
     for s in timeline_series(ctx) {
@@ -667,7 +794,12 @@ fn run_table4(ctx: &Ctx) {
     let mut t = TextTable::new(
         "Table 4 — variation across twelve weekly snapshots",
         &[
-            "IXP", "AFI", "Memb min–max (diff%)", "Pfx diff%", "Routes diff%", "Comm diff%",
+            "IXP",
+            "AFI",
+            "Memb min–max (diff%)",
+            "Pfx diff%",
+            "Routes diff%",
+            "Comm diff%",
         ],
     );
     for s in timeline_series(ctx) {
@@ -687,7 +819,9 @@ fn run_table4(ctx: &Ctx) {
         ]);
     }
     println!("{}", t.render());
-    println!("paper: median min-max difference 5.31%; highest 18.03% (DE-CIX-Mad v4 communities)\n");
+    println!(
+        "paper: median min-max difference 5.31%; highest 18.03% (DE-CIX-Mad v4 communities)\n"
+    );
 }
 
 fn run_sanitation(ctx: &Ctx) {
@@ -712,7 +846,10 @@ fn run_sanitation(ctx: &Ctx) {
             .filter(|d| removed_days.contains(d))
             .count();
     }
-    let mut t = TextTable::new("§3 — snapshot sanitation (valley detection)", &["Metric", "Value"]);
+    let mut t = TextTable::new(
+        "§3 — snapshot sanitation (valley detection)",
+        &["Metric", "Value"],
+    );
     t.row(["snapshots inspected", &total_days.to_string()]);
     t.row(["snapshots removed", &removed.to_string()]);
     t.row([
@@ -722,7 +859,10 @@ fn run_sanitation(ctx: &Ctx) {
     t.row(["injected outages", &injected.to_string()]);
     t.row([
         "outages caught",
-        &format!("{caught} ({:.1}%)", caught as f64 / injected.max(1) as f64 * 100.0),
+        &format!(
+            "{caught} ({:.1}%)",
+            caught as f64 / injected.max(1) as f64 * 100.0
+        ),
     ]);
     println!("{}", t.render());
     println!(
@@ -749,7 +889,11 @@ fn run_overlap(ctx: &Ctx) {
             let shared = ov.pairwise(ctx.ixps[i], ctx.ixps[j]);
             let names: Vec<String> = shared.iter().map(|a| known::name_of(*a)).collect();
             t.row([
-                format!("{} ∩ {}", ctx.ixps[i].short_name(), ctx.ixps[j].short_name()),
+                format!(
+                    "{} ∩ {}",
+                    ctx.ixps[i].short_name(),
+                    ctx.ixps[j].short_name()
+                ),
                 format!("{}: {}", shared.len(), names.join(", ")),
             ]);
         }

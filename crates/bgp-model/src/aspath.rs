@@ -90,9 +90,7 @@ impl AsPath {
 
     /// The leftmost ASN: the neighbor that announced us the route.
     pub fn first_asn(&self) -> Option<Asn> {
-        self.segments
-            .iter()
-            .find_map(|s| s.asns().first().copied())
+        self.segments.iter().find_map(|s| s.asns().first().copied())
     }
 
     /// The origin AS: rightmost ASN of the last segment, when it is a
@@ -168,13 +166,11 @@ impl fmt::Display for AsPath {
             first = false;
             match seg {
                 Segment::Sequence(v) => {
-                    let parts: Vec<String> =
-                        v.iter().map(|a| a.value().to_string()).collect();
+                    let parts: Vec<String> = v.iter().map(|a| a.value().to_string()).collect();
                     write!(f, "{}", parts.join(" "))?;
                 }
                 Segment::Set(v) => {
-                    let parts: Vec<String> =
-                        v.iter().map(|a| a.value().to_string()).collect();
+                    let parts: Vec<String> = v.iter().map(|a| a.value().to_string()).collect();
                     write!(f, "{{{}}}", parts.join(","))?;
                 }
             }
@@ -266,9 +262,6 @@ mod tests {
     #[test]
     fn unique_asns_dedupes_prepends() {
         let p = path(&[100, 100, 100, 200, 300]);
-        assert_eq!(
-            p.unique_asns(),
-            vec![Asn(100), Asn(200), Asn(300)]
-        );
+        assert_eq!(p.unique_asns(), vec![Asn(100), Asn(200), Asn(300)]);
     }
 }

@@ -193,10 +193,16 @@ impl fmt::Display for ExtendedCommunity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind() {
             ExtendedKind::TwoOctetAsSpecific {
-                subtype, asn, local, ..
+                subtype,
+                asn,
+                local,
+                ..
             } => write!(f, "ext:{:#04x}:{}:{}", subtype, asn.value(), local),
             ExtendedKind::FourOctetAsSpecific {
-                subtype, asn, local, ..
+                subtype,
+                asn,
+                local,
+                ..
             } => write!(f, "ext4:{:#04x}:{}:{}", subtype, asn.value(), local),
             ExtendedKind::Opaque { typ, subtype } => {
                 write!(f, "ext-opaque:{typ:#04x}:{subtype:#04x}")

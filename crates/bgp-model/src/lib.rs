@@ -38,8 +38,7 @@ pub mod prelude {
     pub use crate::asn::Asn;
     pub use crate::aspath::{AsPath, Segment};
     pub use crate::community::{
-        well_known, Community, CommunityType, ExtendedCommunity, LargeCommunity,
-        StandardCommunity,
+        well_known, Community, CommunityType, ExtendedCommunity, LargeCommunity, StandardCommunity,
     };
     pub use crate::prefix::{Afi, Prefix};
     pub use crate::rib::{AdjRibIn, PeerRib};

@@ -135,6 +135,9 @@ impl Prefix {
     }
 
     /// The prefix length.
+    // `len` is the CIDR mask length, not a container size — an
+    // `is_empty` counterpart would be meaningless here.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -202,7 +205,11 @@ fn mask_addr(addr: IpAddr, len: u8) -> IpAddr {
     match addr {
         IpAddr::V4(a) => {
             let bits = u32::from(a);
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - len as u32)
+            };
             IpAddr::V4(Ipv4Addr::from(bits & mask))
         }
         IpAddr::V6(a) => {
@@ -247,12 +254,12 @@ fn bogons_for(afi: Afi) -> &'static [Prefix] {
         }),
         Afi::Ipv6 => V6.get_or_init(|| {
             [
-                "::/8",        // includes unspecified, loopback, v4-mapped
-                "100::/64",    // discard only
+                "::/8",          // includes unspecified, loopback, v4-mapped
+                "100::/64",      // discard only
                 "2001:db8::/32", // documentation
-                "fc00::/7",    // unique local
-                "fe80::/10",   // link local
-                "ff00::/8",    // multicast
+                "fc00::/7",      // unique local
+                "fe80::/10",     // link local
+                "ff00::/8",      // multicast
             ]
             .iter()
             .map(|s| s.parse().unwrap())
@@ -329,7 +336,13 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for s in ["10.0.0.0/8", "203.0.113.0/24", "2001:db8:1::/48", "::/0", "0.0.0.0/0"] {
+        for s in [
+            "10.0.0.0/8",
+            "203.0.113.0/24",
+            "2001:db8:1::/48",
+            "::/0",
+            "0.0.0.0/0",
+        ] {
             let p: Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }

@@ -192,9 +192,12 @@ mod tests {
         let mut rib = PeerRib::new();
         rib.announce(route("203.0.113.0/24", 1));
         rib.announce(
-            Route::builder("2001:db8:100::/48".parse().unwrap(), "2001:7f8::1".parse().unwrap())
-                .path([1])
-                .build(),
+            Route::builder(
+                "2001:db8:100::/48".parse().unwrap(),
+                "2001:7f8::1".parse().unwrap(),
+            )
+            .path([1])
+            .build(),
         );
         assert_eq!(rib.iter_afi(Afi::Ipv4).count(), 1);
         assert_eq!(rib.iter_afi(Afi::Ipv6).count(), 1);
@@ -221,6 +224,8 @@ mod tests {
         let table = rib.remove_peer(Asn(100)).unwrap();
         assert_eq!(table.len(), 1);
         assert_eq!(rib.peer_count(), 0);
-        assert!(rib.withdraw(Asn(100), &"203.0.113.0/24".parse().unwrap()).is_none());
+        assert!(rib
+            .withdraw(Asn(100), &"203.0.113.0/24".parse().unwrap())
+            .is_none());
     }
 }

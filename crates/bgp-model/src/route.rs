@@ -230,13 +230,16 @@ mod tests {
     use crate::community::well_known;
 
     fn sample() -> Route {
-        Route::builder("203.0.113.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
-            .path([64496, 15169])
-            .origin(Origin::Igp)
-            .standard(StandardCommunity::from_parts(0, 6939))
-            .standard(well_known::NO_EXPORT)
-            .large(LargeCommunity::new(26162, 0, 6939))
-            .build()
+        Route::builder(
+            "203.0.113.0/24".parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([64496, 15169])
+        .origin(Origin::Igp)
+        .standard(StandardCommunity::from_parts(0, 6939))
+        .standard(well_known::NO_EXPORT)
+        .large(LargeCommunity::new(26162, 0, 6939))
+        .build()
     }
 
     #[test]

@@ -6,15 +6,13 @@ use bgp_model::prelude::*;
 use proptest::prelude::*;
 
 fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
-        Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap()
-    })
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(bits, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).unwrap())
 }
 
 fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
-    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| {
-        Prefix::new(IpAddr::V6(Ipv6Addr::from(bits)), len).unwrap()
-    })
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(bits, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(bits)), len).unwrap())
 }
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {

@@ -336,7 +336,7 @@ impl PathAttribute {
                 })
             }
             code::COMMUNITIES => {
-                if value.len() % 4 != 0 {
+                if !value.len().is_multiple_of(4) {
                     return Err(bad("COMMUNITIES length not multiple of 4"));
                 }
                 let mut cs = Vec::with_capacity(value.len() / 4);
@@ -346,7 +346,7 @@ impl PathAttribute {
                 Ok(PathAttribute::Communities(cs))
             }
             code::EXTENDED_COMMUNITIES => {
-                if value.len() % 8 != 0 {
+                if !value.len().is_multiple_of(8) {
                     return Err(bad("EXTENDED_COMMUNITIES length not multiple of 8"));
                 }
                 let mut cs = Vec::with_capacity(value.len() / 8);
@@ -358,7 +358,7 @@ impl PathAttribute {
                 Ok(PathAttribute::ExtendedCommunities(cs))
             }
             code::LARGE_COMMUNITIES => {
-                if value.len() % 12 != 0 {
+                if !value.len().is_multiple_of(12) {
                     return Err(bad("LARGE_COMMUNITIES length not multiple of 12"));
                 }
                 let mut cs = Vec::with_capacity(value.len() / 12);
@@ -511,8 +511,9 @@ mod tests {
     #[test]
     fn extended_length_flag_for_big_values() {
         // >255 bytes of communities triggers the extended-length encoding
-        let cs: Vec<StandardCommunity> =
-            (0..100).map(|i| StandardCommunity::from_parts(6695, i)).collect();
+        let cs: Vec<StandardCommunity> = (0..100)
+            .map(|i| StandardCommunity::from_parts(6695, i))
+            .collect();
         let attr = PathAttribute::Communities(cs);
         let mut buf = BytesMut::new();
         attr.encode(&mut buf);

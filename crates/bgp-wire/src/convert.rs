@@ -61,9 +61,11 @@ pub fn update_to_routes(update: &UpdateMessage) -> Result<UpdateContent, WireErr
         .nlri
         .iter()
         .map(|p| (*p, next_hop_v4.unwrap_or(IpAddr::V4([0, 0, 0, 0].into()))))
-        .chain(mp_reach.into_iter().flat_map(|mp| {
-            mp.nlri.iter().map(move |p| (*p, mp.next_hop))
-        }))
+        .chain(
+            mp_reach
+                .into_iter()
+                .flat_map(|mp| mp.nlri.iter().map(move |p| (*p, mp.next_hop))),
+        )
         .collect();
 
     if !announcements.is_empty() {
@@ -113,7 +115,9 @@ pub fn routes_to_update(routes: &[Route]) -> UpdateMessage {
         attributes.push(PathAttribute::Med(med));
     }
     if !first.standard_communities.is_empty() {
-        attributes.push(PathAttribute::Communities(first.standard_communities.clone()));
+        attributes.push(PathAttribute::Communities(
+            first.standard_communities.clone(),
+        ));
     }
     if !first.extended_communities.is_empty() {
         attributes.push(PathAttribute::ExtendedCommunities(
@@ -121,7 +125,9 @@ pub fn routes_to_update(routes: &[Route]) -> UpdateMessage {
         ));
     }
     if !first.large_communities.is_empty() {
-        attributes.push(PathAttribute::LargeCommunities(first.large_communities.clone()));
+        attributes.push(PathAttribute::LargeCommunities(
+            first.large_communities.clone(),
+        ));
     }
     match (first.afi(), first.next_hop) {
         (Afi::Ipv4, IpAddr::V4(nh)) => {
@@ -185,10 +191,10 @@ pub fn routes_to_updates(routes: &[Route]) -> Vec<UpdateMessage> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Message;
     use bgp_model::community::{LargeCommunity, StandardCommunity};
     use bgp_model::prelude::Asn;
     use bgp_model::route::Origin;
-    use crate::message::Message;
 
     fn v4_route(pfx: &str) -> Route {
         Route::builder(pfx.parse().unwrap(), "198.32.0.7".parse().unwrap())
@@ -237,7 +243,8 @@ mod tests {
     fn different_attributes_split_updates() {
         let a = v4_route("203.0.113.0/24");
         let mut b = v4_route("198.51.100.0/24");
-        b.standard_communities.push(StandardCommunity::from_parts(6695, 1));
+        b.standard_communities
+            .push(StandardCommunity::from_parts(6695, 1));
         let updates = routes_to_updates(&[a, b]);
         assert_eq!(updates.len(), 2);
     }

@@ -12,9 +12,7 @@ use bgp_model::asn::Asn;
 use bgp_model::prefix::Afi;
 
 use crate::error::WireError;
-use crate::message::{
-    Message, NotificationCode, NotificationMessage, OpenMessage, UpdateMessage,
-};
+use crate::message::{Message, NotificationCode, NotificationMessage, OpenMessage, UpdateMessage};
 
 /// FSM states (RFC 4271 §8.2.2). `Connect`/`Active` are merged into
 /// [`State::Connect`]: we model an in-process transport where the TCP
@@ -267,9 +265,11 @@ impl Fsm {
             }
             (State::OpenConfirm, Message::Keepalive) => {
                 self.state = State::Established;
-                vec![Action::SessionUp(self.peer_open.clone().expect(
-                    "peer_open set before OpenConfirm",
-                ))]
+                vec![Action::SessionUp(
+                    self.peer_open
+                        .clone()
+                        .expect("peer_open set before OpenConfirm"),
+                )]
             }
             (State::Established, Message::Update(update)) => {
                 vec![Action::DeliverUpdate(update)]
@@ -284,7 +284,10 @@ impl Fsm {
                 let was_up = self.state == State::Established;
                 self.reset();
                 if was_up || self.peer_open.is_some() {
-                    vec![Action::SessionDown(DownReason::RemoteNotification(n)), Action::CloseTransport]
+                    vec![
+                        Action::SessionDown(DownReason::RemoteNotification(n)),
+                        Action::CloseTransport,
+                    ]
                 } else {
                     vec![Action::CloseTransport]
                 }
@@ -478,15 +481,15 @@ mod tests {
         // at 40s a sends a keepalive (1/3 of 90s elapsed)
         let acts = a.handle(Event::Tick { now_ms: 40_000 });
         assert_eq!(acts.len(), 1);
-        let Action::Send(bytes) = &acts[0] else { panic!() };
+        let Action::Send(bytes) = &acts[0] else {
+            panic!()
+        };
         b.handle(Event::Tick { now_ms: 40_000 });
         let acts_b = b.handle(Event::BytesReceived(BytesMut::from(&bytes[..])));
         assert!(acts_b.is_empty());
         // b's hold timer now measured from 40s: at 100s it is still alive
         let acts_b = b.handle(Event::Tick { now_ms: 100_000 });
-        assert!(!acts_b
-            .iter()
-            .any(|x| matches!(x, Action::SessionDown(_))));
+        assert!(!acts_b.iter().any(|x| matches!(x, Action::SessionDown(_))));
     }
 
     #[test]

@@ -159,10 +159,12 @@ pub fn decode_update_lenient(body: &mut Bytes) -> Result<LenientUpdate, WireErro
                 }
             }
             if !merged {
-                update.attributes.push(PathAttribute::MpUnreach(attrs::MpUnreach {
-                    afi: Afi::Ipv6,
-                    withdrawn: mp_withdrawn,
-                }));
+                update
+                    .attributes
+                    .push(PathAttribute::MpUnreach(attrs::MpUnreach {
+                        afi: Afi::Ipv6,
+                        withdrawn: mp_withdrawn,
+                    }));
             }
         }
     }
@@ -244,10 +246,7 @@ mod tests {
         ));
         // the announcement survives, just without communities
         assert_eq!(lenient.update.nlri, update.nlri);
-        assert!(lenient
-            .update
-            .attribute(attrs::code::COMMUNITIES)
-            .is_none());
+        assert!(lenient.update.attribute(attrs::code::COMMUNITIES).is_none());
     }
 
     #[test]

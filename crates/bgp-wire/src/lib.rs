@@ -43,6 +43,7 @@ pub mod error;
 pub mod fsm;
 pub mod lenient;
 pub mod message;
+mod metrics;
 pub mod mrt;
 pub mod nlri;
 

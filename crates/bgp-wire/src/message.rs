@@ -319,13 +319,32 @@ impl Message {
         out.put_u16(total as u16);
         out.put_u8(typ);
         out.put_slice(&body);
-        Ok(out.freeze())
+        let frame = out.freeze();
+        let m = crate::metrics::handles();
+        m.msgs_encoded.inc();
+        m.bytes_encoded.add(frame.len() as u64);
+        Ok(frame)
     }
 
     /// Decode one message from the front of `buf`, consuming exactly its
     /// bytes. Returns `None` (consuming nothing) if a full message is not
     /// yet available — suitable for use on a streaming receive buffer.
     pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
+        let before = buf.len();
+        let result = Self::decode_inner(buf);
+        let m = crate::metrics::handles();
+        match &result {
+            Ok(Some(_)) => {
+                m.msgs_decoded.inc();
+                m.bytes_decoded.add((before - buf.len()) as u64);
+            }
+            Ok(None) => {}
+            Err(_) => m.decode_errors.inc(),
+        }
+        result
+    }
+
+    fn decode_inner(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
         if buf.len() < HEADER_LEN {
             return Ok(None);
         }
@@ -521,7 +540,10 @@ mod tests {
                 "203.0.112.0/23".parse().unwrap(),
             ],
         };
-        assert_eq!(roundtrip(Message::Update(update.clone())), Message::Update(update));
+        assert_eq!(
+            roundtrip(Message::Update(update.clone())),
+            Message::Update(update)
+        );
     }
 
     #[test]
@@ -539,7 +561,10 @@ mod tests {
             ],
             nlri: vec![],
         };
-        assert_eq!(roundtrip(Message::Update(update.clone())), Message::Update(update));
+        assert_eq!(
+            roundtrip(Message::Update(update.clone())),
+            Message::Update(update)
+        );
     }
 
     #[test]
@@ -559,7 +584,10 @@ mod tests {
     #[test]
     fn route_refresh_roundtrip() {
         for afi in [Afi::Ipv4, Afi::Ipv6] {
-            assert_eq!(roundtrip(Message::RouteRefresh(afi)), Message::RouteRefresh(afi));
+            assert_eq!(
+                roundtrip(Message::RouteRefresh(afi)),
+                Message::RouteRefresh(afi)
+            );
         }
         let wire = Message::RouteRefresh(Afi::Ipv6).encode().unwrap();
         assert_eq!(wire.len(), HEADER_LEN + 4);
@@ -619,7 +647,10 @@ mod tests {
         let mut raw = BytesMut::from(&wire[..]);
         raw[16] = 0xFF;
         raw[17] = 0xFF; // 65535 > 4096
-        assert!(matches!(Message::decode(&mut raw), Err(WireError::BadLength(_))));
+        assert!(matches!(
+            Message::decode(&mut raw),
+            Err(WireError::BadLength(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Wire-level telemetry: message and byte counters on the codec hot paths.
+//!
+//! Handles are minted once from the process-wide [`obs::global()`] registry
+//! and cached in a `OnceLock`, so recording on the encode/decode path is a
+//! single relaxed atomic add — no locks, no allocation, no name lookup.
+
+use std::sync::OnceLock;
+
+use obs::Counter;
+
+pub(crate) struct WireMetrics {
+    /// Complete messages encoded to wire bytes.
+    pub msgs_encoded: Counter,
+    /// Wire bytes produced by encoding (headers included).
+    pub bytes_encoded: Counter,
+    /// Complete messages decoded from wire bytes.
+    pub msgs_decoded: Counter,
+    /// Wire bytes consumed by successful decodes.
+    pub bytes_decoded: Counter,
+    /// Decode attempts that failed with a `WireError`.
+    pub decode_errors: Counter,
+    /// RIB entries written into MRT-style snapshots.
+    pub mrt_entries_encoded: Counter,
+    /// RIB entries read back out of MRT-style snapshots.
+    pub mrt_entries_decoded: Counter,
+}
+
+pub(crate) fn handles() -> &'static WireMetrics {
+    static HANDLES: OnceLock<WireMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = obs::global();
+        WireMetrics {
+            msgs_encoded: registry.counter("wire.msgs_encoded"),
+            bytes_encoded: registry.counter("wire.bytes_encoded"),
+            msgs_decoded: registry.counter("wire.msgs_decoded"),
+            bytes_decoded: registry.counter("wire.bytes_decoded"),
+            decode_errors: registry.counter("wire.decode_errors"),
+            mrt_entries_encoded: registry.counter("wire.mrt_entries_encoded"),
+            mrt_entries_decoded: registry.counter("wire.mrt_entries_decoded"),
+        }
+    })
+}

@@ -77,7 +77,7 @@ impl MrtRibDump {
         let mut groups: BTreeMap<Prefix, Vec<RibEntry>> = BTreeMap::new();
         for (asn, route) in pairs {
             let idx = *peer_idx.entry(asn).or_insert_with(|| {
-                let v = (asn.value() % 0xFFFF_FF00) as u32;
+                let v = asn.value() % 0xFFFF_FF00;
                 peers.push(MrtPeer {
                     asn,
                     bgp_id: Ipv4Addr::from(v.to_be_bytes()),
@@ -166,6 +166,9 @@ impl MrtRibDump {
             };
             put_record(&mut out, self.timestamp, subtype, &body)?;
         }
+        crate::metrics::handles()
+            .mrt_entries_encoded
+            .add(self.entry_count() as u64);
         Ok(out.freeze())
     }
 
@@ -205,7 +208,11 @@ impl MrtRibDump {
                 // header; v6 prefixes ride inside MP_REACH already.
                 let update = UpdateMessage {
                     withdrawn: vec![],
-                    nlri: if afi == Afi::Ipv4 { vec![prefix] } else { vec![] },
+                    nlri: if afi == Afi::Ipv4 {
+                        vec![prefix]
+                    } else {
+                        vec![]
+                    },
                     attributes,
                 };
                 let content = convert::update_to_routes(&update)?;
@@ -225,6 +232,9 @@ impl MrtRibDump {
         if first {
             return Err(WireError::BadMrtRecord("empty dump"));
         }
+        crate::metrics::handles()
+            .mrt_entries_decoded
+            .add(dump.entry_count() as u64);
         Ok(dump)
     }
 }

@@ -25,8 +25,7 @@ fn arb_standard() -> impl Strategy<Value = StandardCommunity> {
 }
 
 fn arb_large() -> impl Strategy<Value = LargeCommunity> {
-    (any::<u32>(), any::<u32>(), any::<u32>())
-        .prop_map(|(g, a, b)| LargeCommunity::new(g, a, b))
+    (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(g, a, b)| LargeCommunity::new(g, a, b))
 }
 
 fn arb_extended() -> impl Strategy<Value = ExtendedCommunity> {

@@ -178,7 +178,10 @@ mod tests {
             "prepend 2x to all peers"
         );
         assert_eq!(Action::blackhole().to_string(), "blackhole");
-        assert_eq!(ActionGroup::DoNotAnnounceTo.to_string(), "Do not announce to");
+        assert_eq!(
+            ActionGroup::DoNotAnnounceTo.to_string(),
+            "Do not announce to"
+        );
     }
 
     #[test]

@@ -48,12 +48,14 @@ pub fn classify_large(ixp: IxpId, c: LargeCommunity) -> Classification {
         return Classification::Unknown;
     }
     let sem = match c.data1 {
-        large_fn::AVOID => {
-            Semantics::Action(Action::new(ActionKind::DoNotAnnounceTo, large_target(c.data2)))
-        }
-        large_fn::ONLY => {
-            Semantics::Action(Action::new(ActionKind::AnnounceOnlyTo, large_target(c.data2)))
-        }
+        large_fn::AVOID => Semantics::Action(Action::new(
+            ActionKind::DoNotAnnounceTo,
+            large_target(c.data2),
+        )),
+        large_fn::ONLY => Semantics::Action(Action::new(
+            ActionKind::AnnounceOnlyTo,
+            large_target(c.data2),
+        )),
         large_fn::PREPEND1 => {
             Semantics::Action(Action::new(ActionKind::PrependTo(1), large_target(c.data2)))
         }
@@ -63,12 +65,8 @@ pub fn classify_large(ixp: IxpId, c: LargeCommunity) -> Classification {
         large_fn::PREPEND3 => {
             Semantics::Action(Action::new(ActionKind::PrependTo(3), large_target(c.data2)))
         }
-        large_fn::INFO_LEARNED => {
-            Semantics::Informational(InfoKind::LearnedAt(c.data2 as u16))
-        }
-        large_fn::INFO_ORIGIN => {
-            Semantics::Informational(InfoKind::OriginClass(c.data2 as u16))
-        }
+        large_fn::INFO_LEARNED => Semantics::Informational(InfoKind::LearnedAt(c.data2 as u16)),
+        large_fn::INFO_ORIGIN => Semantics::Informational(InfoKind::OriginClass(c.data2 as u16)),
         _ => return Classification::Unknown,
     };
     Classification::IxpDefined(sem)

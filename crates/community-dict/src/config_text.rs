@@ -204,7 +204,9 @@ pub fn parse(text: &str) -> Result<Vec<DictionaryEntry>, ConfigParseError> {
             .ok_or_else(|| err("missing action/info class".into()))?;
         let semantics = match class {
             "action" => {
-                let kind_word = words.next().ok_or_else(|| err("missing action kind".into()))?;
+                let kind_word = words
+                    .next()
+                    .ok_or_else(|| err("missing action kind".into()))?;
                 let kind = parse_action_keyword(kind_word)
                     .ok_or_else(|| err(format!("unknown action {kind_word:?}")))?;
                 let target = if kind == ActionKind::Blackhole {
@@ -212,13 +214,14 @@ pub fn parse(text: &str) -> Result<Vec<DictionaryEntry>, ConfigParseError> {
                     Target::TaggedPrefix
                 } else {
                     let t = words.next().ok_or_else(|| err("missing target".into()))?;
-                    parse_target_keyword(t)
-                        .ok_or_else(|| err(format!("unknown target {t:?}")))?
+                    parse_target_keyword(t).ok_or_else(|| err(format!("unknown target {t:?}")))?
                 };
                 Semantics::Action(Action { kind, target })
             }
             "info" => {
-                let word = words.next().ok_or_else(|| err("missing info kind".into()))?;
+                let word = words
+                    .next()
+                    .ok_or_else(|| err("missing info kind".into()))?;
                 let code: u16 = words
                     .next()
                     .ok_or_else(|| err("missing info code".into()))?
@@ -230,9 +233,8 @@ pub fn parse(text: &str) -> Result<Vec<DictionaryEntry>, ConfigParseError> {
             }
             other => return Err(err(format!("unknown class {other:?}"))),
         };
-        entries.push(
-            DictionaryEntry::new(pattern, semantics, desc).with_sources(SourceSet::RS_ONLY),
-        );
+        entries
+            .push(DictionaryEntry::new(pattern, semantics, desc).with_sources(SourceSet::RS_ONLY));
     }
     Ok(entries)
 }
@@ -284,10 +286,7 @@ mod tests {
         let text = "# hello\n\nrs-asn 8714\ncommunity 65535:666 action blackhole prefix \"bh\"\n";
         let entries = parse(text).unwrap();
         assert_eq!(entries.len(), 1);
-        assert_eq!(
-            entries[0].semantics,
-            Semantics::Action(Action::blackhole())
-        );
+        assert_eq!(entries[0].semantics, Semantics::Action(Action::blackhole()));
     }
 
     #[test]

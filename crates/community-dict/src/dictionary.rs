@@ -62,7 +62,11 @@ impl Dictionary {
     }
 
     /// The paper's union construction: RS-config entries ∪ website entries.
-    pub fn union(ixp: IxpId, rs_config: Vec<DictionaryEntry>, website: Vec<DictionaryEntry>) -> Self {
+    pub fn union(
+        ixp: IxpId,
+        rs_config: Vec<DictionaryEntry>,
+        website: Vec<DictionaryEntry>,
+    ) -> Self {
         let mut all = rs_config;
         all.extend(website);
         Dictionary::new(ixp, all)
@@ -76,7 +80,11 @@ impl Dictionary {
                     self.index.exact.insert(c.0, i);
                 }
                 _ => {
-                    self.index.by_high.entry(e.pattern.high()).or_default().push(i);
+                    self.index
+                        .by_high
+                        .entry(e.pattern.high())
+                        .or_default()
+                        .push(i);
                 }
             }
         }

@@ -29,8 +29,8 @@
 
 pub mod action;
 pub mod classify;
-pub mod dictionary;
 pub mod config_text;
+pub mod dictionary;
 pub mod entry;
 pub mod ixp;
 pub mod known;

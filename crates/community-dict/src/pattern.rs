@@ -53,12 +53,10 @@ impl Pattern {
     /// community: templated patterns substitute the real target.
     pub fn resolve(&self, semantics: Semantics, c: StandardCommunity) -> Semantics {
         match (self, semantics) {
-            (Pattern::PeerAsnLow { .. }, Semantics::Action(action)) => {
-                Semantics::Action(Action {
-                    kind: action.kind,
-                    target: Target::Peer(Asn(c.low() as u32)),
-                })
-            }
+            (Pattern::PeerAsnLow { .. }, Semantics::Action(action)) => Semantics::Action(Action {
+                kind: action.kind,
+                target: Target::Peer(Asn(c.low() as u32)),
+            }),
             (Pattern::LowRange { lo, .. }, Semantics::Action(action))
                 if matches!(action.target, Target::Region(_)) =>
             {
@@ -123,10 +121,7 @@ mod tests {
         assert!(!p.matches(C(6695, 6939)));
         let template = Semantics::Action(Action::avoid(Asn(0)));
         let resolved = p.resolve(template, C(0, 6939));
-        assert_eq!(
-            resolved,
-            Semantics::Action(Action::avoid(Asn(6939)))
-        );
+        assert_eq!(resolved, Semantics::Action(Action::avoid(Asn(6939))));
         assert_eq!(p.specificity(), 65536);
     }
 
@@ -153,10 +148,7 @@ mod tests {
         };
         let template = Semantics::Informational(InfoKind::LearnedAt(0));
         let resolved = p.resolve(template, C(6695, 842));
-        assert_eq!(
-            resolved,
-            Semantics::Informational(InfoKind::LearnedAt(42))
-        );
+        assert_eq!(resolved, Semantics::Informational(InfoKind::LearnedAt(42)));
     }
 
     #[test]
@@ -166,10 +158,8 @@ mod tests {
             lo: 0,
             hi: 9,
         };
-        let template = Semantics::Action(Action::new(
-            ActionKind::DoNotAnnounceTo,
-            Target::Region(0),
-        ));
+        let template =
+            Semantics::Action(Action::new(ActionKind::DoNotAnnounceTo, Target::Region(0)));
         let resolved = p.resolve(template, C(65100, 4));
         assert_eq!(
             resolved,

@@ -204,12 +204,18 @@ pub fn scheme_entries(ixp: IxpId) -> Vec<DictionaryEntry> {
     entries.push(action_entry(
         Pattern::PeerAsnLow { high: highs.avoid },
         Action::avoid(Asn(0)),
-        format!("{rs_name}: {}:<peer-as> = do not announce to <peer-as>", highs.avoid),
+        format!(
+            "{rs_name}: {}:<peer-as> = do not announce to <peer-as>",
+            highs.avoid
+        ),
     ));
     entries.push(action_entry(
         Pattern::PeerAsnLow { high: highs.only },
         Action::only(Asn(0)),
-        format!("{rs_name}: {}:<peer-as> = announce only to <peer-as>", highs.only),
+        format!(
+            "{rs_name}: {}:<peer-as> = announce only to <peer-as>",
+            highs.only
+        ),
     ));
     if let Some(prepend_highs) = highs.prepend {
         for (i, high) in prepend_highs.iter().enumerate() {
@@ -226,12 +232,18 @@ pub fn scheme_entries(ixp: IxpId) -> Vec<DictionaryEntry> {
     entries.push(action_entry(
         Pattern::Exact(avoid_all_community(ixp)),
         Action::new(ActionKind::DoNotAnnounceTo, Target::AllPeers),
-        format!("{rs_name}: {} = do not announce to any peer", avoid_all_community(ixp)),
+        format!(
+            "{rs_name}: {} = do not announce to any peer",
+            avoid_all_community(ixp)
+        ),
     ));
     entries.push(action_entry(
         Pattern::Exact(announce_all_community(ixp)),
         Action::new(ActionKind::AnnounceOnlyTo, Target::AllPeers),
-        format!("{rs_name}: {} = announce to all peers", announce_all_community(ixp)),
+        format!(
+            "{rs_name}: {} = announce to all peers",
+            announce_all_community(ixp)
+        ),
     ));
     if ixp == IxpId::AmsIx {
         for n in 1u8..=3 {
@@ -264,11 +276,7 @@ pub fn scheme_entries(ixp: IxpId) -> Vec<DictionaryEntry> {
             1 => InfoKind::OriginClass(i / 3),
             _ => InfoKind::RsNote(i / 3),
         };
-        entries.push(info_entry(
-            c,
-            kind,
-            format!("{rs_name}: {c} = {kind}"),
-        ));
+        entries.push(info_entry(c, kind, format!("{rs_name}: {c} = {kind}")));
     }
 
     // --- enumerated per-AS documentation examples (large dictionaries) ---
@@ -342,12 +350,7 @@ mod tests {
     fn dictionary_sizes_match_paper() {
         for ixp in IxpId::ALL {
             let d = dictionary(ixp);
-            assert_eq!(
-                d.len(),
-                expected_len(ixp),
-                "{ixp}: got {} entries",
-                d.len()
-            );
+            assert_eq!(d.len(), expected_len(ixp), "{ixp}: got {} entries", d.len());
         }
     }
 
@@ -362,8 +365,14 @@ mod tests {
         for ixp in [IxpId::DeCixFra, IxpId::Linx] {
             let rs = rs_config_entries(ixp);
             let web = website_entries(ixp);
-            assert!(rs.len() < expected_len(ixp), "{ixp} rs-config must have gaps");
-            assert!(web.len() < expected_len(ixp), "{ixp} website must have gaps");
+            assert!(
+                rs.len() < expected_len(ixp),
+                "{ixp} rs-config must have gaps"
+            );
+            assert!(
+                web.len() < expected_len(ixp),
+                "{ixp} website must have gaps"
+            );
             let d = Dictionary::union(ixp, rs, web);
             assert_eq!(d.len(), expected_len(ixp));
         }
@@ -410,7 +419,11 @@ mod tests {
                     "{ixp} should define blackhole"
                 );
             } else {
-                assert_eq!(got, Classification::Unknown, "{ixp} should not define blackhole");
+                assert_eq!(
+                    got,
+                    Classification::Unknown,
+                    "{ixp} should not define blackhole"
+                );
             }
         }
     }

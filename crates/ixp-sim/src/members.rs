@@ -201,8 +201,7 @@ struct TargetPools {
 
 impl TargetPools {
     fn build(ixp: IxpId, members: &[(Asn, Category)]) -> Self {
-        let member_set: std::collections::BTreeSet<Asn> =
-            members.iter().map(|(a, _)| *a).collect();
+        let member_set: std::collections::BTreeSet<Asn> = members.iter().map(|(a, _)| *a).collect();
         let mut member_weighted = Vec::new();
         let mut nonmember_weighted = Vec::new();
         for (asn, w) in universe::avoid_weights(ixp) {
@@ -271,8 +270,8 @@ fn draw_behavior(
     b.uses_action_v4 = rng.random::<f64>() < p_use;
     // large ISPs run the same export policy on both families; the long
     // tail enables v6 tagging less often (Fig. 4a's lower v6 fractions)
-    b.uses_action_v6 = b.uses_action_v4
-        && (category == Category::LargeIsp || rng.random::<f64>() < cal.p_use_v6);
+    b.uses_action_v6 =
+        b.uses_action_v4 && (category == Category::LargeIsp || rng.random::<f64>() < cal.p_use_v6);
     if !b.uses_action_v4 {
         return b;
     }
@@ -316,9 +315,7 @@ fn draw_behavior(
     if uses_prepend {
         let count = rng.random_range(1u8..=3);
         let target = if community_dict::schemes::supports_peer_prepend(ixp) {
-            Some(
-                universe::avoid_weights(ixp)[rng.random_range(0..5)].0,
-            )
+            Some(universe::avoid_weights(ixp)[rng.random_range(0..5usize)].0)
         } else {
             None // AMS-IX: prepend to all (standard communities)
         };

@@ -49,12 +49,21 @@ pub struct Scenario {
 /// Build the world and collect one snapshot per (IXP, family) through the
 /// Looking Glass pipeline.
 pub fn run(config: &ScenarioConfig) -> Scenario {
-    let worlds = build_world(&config.ixps, &config.world);
+    let registry = obs::global();
+    let _scenario_span = obs::span!("sim.scenario");
+    registry.gauge("sim.day").set(config.day as i64);
+    let worlds = {
+        let _span = obs::span!("sim.build_world");
+        build_world(&config.ixps, &config.world)
+    };
     let mut store = SnapshotStore::new();
     let collector = Collector::new(CollectorConfig::default());
+    let snapshots_collected = registry.counter("sim.snapshots_collected");
+    let collections_failed = registry.counter("sim.collections_failed");
     let mut out = Vec::with_capacity(worlds.len());
     for world in worlds {
         let ixp = world.ixp;
+        let _ixp_span = obs::span!("sim.collect_ixp");
         let rs = Arc::new(RwLock::new(world.rs.clone()));
         let lg = Arc::new(LgServer::new(
             Arc::clone(&rs),
@@ -66,7 +75,10 @@ pub fn run(config: &ScenarioConfig) -> Scenario {
             // start each collection far enough apart that the bucket refills
             let start = (ixp as u64) * 100_000_000 + (afi as u64) * 50_000_000;
             if let Ok(report) = collector.collect(&mut transport, afi, config.day, start) {
+                snapshots_collected.inc();
                 store.insert(report.snapshot);
+            } else {
+                collections_failed.inc();
             }
         }
         out.push((world, lg));

@@ -185,10 +185,7 @@ impl Series {
         let mut out = Vec::new();
         for week in 0..(self.points.len() as u32).div_ceil(7) {
             let start = week * 7;
-            if let Some(p) = clean
-                .iter()
-                .find(|p| p.day >= start && p.day < start + 7)
-            {
+            if let Some(p) = clean.iter().find(|p| p.day >= start && p.day < start + 7) {
                 out.push(*p);
             }
         }
@@ -206,13 +203,18 @@ impl Series {
 /// Generate the daily series for one (IXP, family).
 pub fn generate_series(ixp: IxpId, afi: Afi, config: &TimelineConfig) -> Series {
     let a = anchors(ixp, afi);
-    let mut rng = StdRng::seed_from_u64(
-        config.seed ^ ((ixp as u64) << 8) ^ ((afi as u64) << 4) ^ 0xA5A5,
-    );
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ ((ixp as u64) << 8) ^ ((afi as u64) << 4) ^ 0xA5A5);
+    let registry = obs::global();
+    let _span = obs::span!("sim.generate_series");
+    let day_gauge = registry.gauge("sim.timeline_day");
+    let points_counter = registry.counter("sim.series_points");
+    let outage_counter = registry.counter("sim.outage_days");
     let mut points = Vec::with_capacity(config.days as usize);
     let mut injected = Vec::new();
     let horizon = (config.days.saturating_sub(1)).max(1) as f64;
     for day in 0..config.days {
+        day_gauge.set(day as i64);
         // growth from the Table 4 minimum toward the Table 1 / Table 4
         // maximum, slightly superlinear (networks keep joining), with
         // ±1% daily jitter so a clean week stays within Table 3's <4%
@@ -239,8 +241,10 @@ pub fn generate_series(ixp: IxpId, afi: Afi, config: &TimelineConfig) -> Series 
             p.prefixes = (p.prefixes as f64 * keep) as usize;
             p.routes = (p.routes as f64 * keep) as usize;
             p.communities = (p.communities as f64 * keep) as usize;
+            outage_counter.inc();
             injected.push(day);
         }
+        points_counter.inc();
         points.push(p);
     }
     Series {

@@ -55,11 +55,8 @@ impl PrefixAllocator {
                 self.next_v6 += 1;
                 let hi = (i >> 16) as u16;
                 let lo = i as u16;
-                let p = Prefix::new(
-                    IpAddr::V6(Ipv6Addr::new(0x2a10, hi, lo, 0, 0, 0, 0, 0)),
-                    48,
-                )
-                .expect("valid synthetic v6 prefix");
+                let p = Prefix::new(IpAddr::V6(Ipv6Addr::new(0x2a10, hi, lo, 0, 0, 0, 0, 0)), 48)
+                    .expect("valid synthetic v6 prefix");
                 self.allocated_v6.push(p);
                 p
             }
@@ -114,6 +111,7 @@ impl Default for WorldConfig {
 /// Build one IXP world: generate members, synthesize their announcements
 /// and run them through the route server.
 pub fn build_ixp(ixp: IxpId, config: &WorldConfig) -> IxpWorld {
+    let _span = obs::span!("sim.build_ixp");
     let mut rng = StdRng::seed_from_u64(config.seed ^ (ixp as u64).wrapping_mul(0x9E37_79B9));
     let prof = profile(ixp);
     let cal = calibration(ixp);
@@ -139,7 +137,12 @@ pub fn build_ixp(ixp: IxpId, config: &WorldConfig) -> IxpWorld {
     let mut alloc = PrefixAllocator::new();
 
     for (mi, m) in members.iter().enumerate() {
-        let next_hop_v4 = IpAddr::V4(Ipv4Addr::new(185, 1, (mi / 250) as u8, (mi % 250 + 1) as u8));
+        let next_hop_v4 = IpAddr::V4(Ipv4Addr::new(
+            185,
+            1,
+            (mi / 250) as u8,
+            (mi % 250 + 1) as u8,
+        ));
         let next_hop_v6 = IpAddr::V6(Ipv6Addr::new(0x2001, 0x7f8, 0, 0, 0, 0, 0, (mi + 1) as u16));
         for (afi, count, p_dup, next_hop) in [
             (Afi::Ipv4, m.routes_v4, p_dup_v4, next_hop_v4),
@@ -208,13 +211,14 @@ fn synthesize_route(
         path.insert(0, m.asn.value()); // self prepend
     }
 
-    let mut builder = Route::builder(prefix, next_hop)
-        .path(path)
-        .origin(if rng.random::<f64>() < 0.9 {
-            Origin::Igp
-        } else {
-            Origin::Incomplete
-        });
+    let mut builder =
+        Route::builder(prefix, next_hop)
+            .path(path)
+            .origin(if rng.random::<f64>() < 0.9 {
+                Origin::Igp
+            } else {
+                Origin::Incomplete
+            });
 
     let b = &m.behavior;
     let uses_action = match prefix.afi() {
@@ -284,16 +288,20 @@ fn synthesize_route(
             .first()
             .copied()
             .unwrap_or(crate::universe::asns::GOOGLE);
-        route.extended_communities.push(ExtendedCommunity::two_octet_as(
-            ext_subtype::PREPEND1,
-            rs16,
-            t.value(),
-        ));
-        route.extended_communities.push(ExtendedCommunity::two_octet_as(
-            ext_subtype::AVOID,
-            rs16,
-            t.value(),
-        ));
+        route
+            .extended_communities
+            .push(ExtendedCommunity::two_octet_as(
+                ext_subtype::PREPEND1,
+                rs16,
+                t.value(),
+            ));
+        route
+            .extended_communities
+            .push(ExtendedCommunity::two_octet_as(
+                ext_subtype::AVOID,
+                rs16,
+                t.value(),
+            ));
     }
     route
 }
@@ -333,10 +341,7 @@ mod tests {
         let world = build_ixp(IxpId::DeCixFra, &cfg);
         let rs = &world.rs;
         // every member has a session
-        assert_eq!(
-            rs.members_for(Afi::Ipv4).count(),
-            world.members.len()
-        );
+        assert_eq!(rs.members_for(Afi::Ipv4).count(), world.members.len());
         // routes were accepted (import filters pass on synthetic routes)
         assert!(rs.stats().routes_accepted > 1000);
         // nearly nothing gets filtered: blackholes at DE-CIX are legal
@@ -355,10 +360,7 @@ mod tests {
         let a = build_ixp(IxpId::Linx, &cfg);
         let b = build_ixp(IxpId::Linx, &cfg);
         assert_eq!(a.members, b.members);
-        assert_eq!(
-            a.rs.stats().action_instances,
-            b.rs.stats().action_instances
-        );
+        assert_eq!(a.rs.stats().action_instances, b.rs.stats().action_instances);
         assert_eq!(a.rs.accepted().route_count(), b.rs.accepted().route_count());
     }
 

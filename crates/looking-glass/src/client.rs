@@ -129,6 +129,13 @@ impl Collector {
         }
 
         let partial = !failed_peers.is_empty();
+        let m = crate::metrics::handles();
+        if partial {
+            m.snapshots_partial.inc();
+        } else {
+            m.snapshots_complete.inc();
+        }
+        m.collect_ms.record(clock - start_ms);
         Ok(CollectionReport {
             snapshot: Snapshot {
                 ixp,
@@ -230,10 +237,13 @@ impl Collector {
             pace(self.config.request_interval_ms);
             *clock += self.config.request_interval_ms;
             *requests += 1;
+            let m = crate::metrics::handles();
+            m.client_requests.inc();
             match transport.request(req, *clock) {
                 Ok(resp) => return Ok(resp),
                 Err(e @ (LgError::RateLimited | LgError::ServerError | LgError::Transport(_))) => {
                     *failures += 1;
+                    m.client_retries.inc();
                     pace(self.config.retry_backoff_ms);
                     *clock += self.config.retry_backoff_ms;
                     last_err = e;
@@ -262,9 +272,7 @@ mod tests {
         rs.add_member(Asn(13335), true, false); // session, no routes
         for i in 0..n_routes {
             let r = Route::builder(
-                format!("193.{}.{}.0/24", i / 250, i % 250)
-                    .parse()
-                    .unwrap(),
+                format!("193.{}.{}.0/24", i / 250, i % 250).parse().unwrap(),
                 "198.32.0.7".parse().unwrap(),
             )
             .path([39120, 15169])
@@ -300,13 +308,13 @@ mod tests {
     fn retries_survive_flakiness() {
         let server = lg(2, 50);
         server.set_failures(FailureModel {
-            error_rate: 0.3,
+            error_rate: 0.5,
             truncate_rate: 0.0,
         });
         let collector = Collector::default();
         let mut t = &server;
         let report = collector.collect(&mut t, Afi::Ipv4, 0, 0).unwrap();
-        // with 3 retries and p=0.3, all peers virtually always succeed
+        // with 3 retries and p=0.5, all peers virtually always succeed
         assert!(!report.snapshot.partial);
         assert_eq!(report.snapshot.route_count(), 100);
         assert!(report.failures > 0, "flakiness should have caused retries");

@@ -172,7 +172,8 @@ mod tests {
         // dictionaries written for all eight IXPs, parseable
         for ixp in IxpId::ALL {
             let text = fs::read_to_string(
-                dir.join("dictionaries").join(format!("{}.conf", ixp.short_name())),
+                dir.join("dictionaries")
+                    .join(format!("{}.conf", ixp.short_name())),
             )
             .unwrap();
             let entries = config_text::parse(&text).unwrap();

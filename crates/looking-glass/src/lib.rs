@@ -38,6 +38,7 @@
 pub mod api;
 pub mod client;
 pub mod dataset;
+mod metrics;
 pub mod sanitize;
 pub mod server;
 pub mod snapshot;

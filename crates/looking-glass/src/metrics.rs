@@ -1,0 +1,51 @@
+//! Looking-Glass telemetry: server-side rejection/failure counters and
+//! page-serve latencies, client-side request/retry/partial-snapshot
+//! counters. Handles are minted once from [`obs::global()`].
+
+use std::sync::OnceLock;
+
+use obs::{Counter, Histogram};
+
+pub(crate) struct LgMetrics {
+    // server side
+    /// Requests handled (any outcome).
+    pub requests: Counter,
+    /// Requests rejected by the token-bucket rate limiter.
+    pub rate_limited: Counter,
+    /// Requests failed by the injected failure model.
+    pub failures_injected: Counter,
+    /// Routes pages silently truncated by the failure model.
+    pub pages_truncated: Counter,
+    /// Wall-clock time to serve one request, nanoseconds.
+    pub handle_ns: Histogram,
+    // client side
+    /// Requests issued by the collector (including retries).
+    pub client_requests: Counter,
+    /// Transient request failures absorbed by retrying.
+    pub client_retries: Counter,
+    /// Collections that completed with every peer present.
+    pub snapshots_complete: Counter,
+    /// Collections that completed missing at least one peer.
+    pub snapshots_partial: Counter,
+    /// Simulated duration of one collection run, milliseconds.
+    pub collect_ms: Histogram,
+}
+
+pub(crate) fn handles() -> &'static LgMetrics {
+    static HANDLES: OnceLock<LgMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = obs::global();
+        LgMetrics {
+            requests: registry.counter("lg.requests"),
+            rate_limited: registry.counter("lg.rate_limited"),
+            failures_injected: registry.counter("lg.failures_injected"),
+            pages_truncated: registry.counter("lg.pages_truncated"),
+            handle_ns: registry.histogram("lg.handle"),
+            client_requests: registry.counter("lg.client.requests"),
+            client_retries: registry.counter("lg.client.retries"),
+            snapshots_complete: registry.counter("lg.client.snapshots_complete"),
+            snapshots_partial: registry.counter("lg.client.snapshots_partial"),
+            collect_ms: registry.histogram("lg.client.collect_ms"),
+        }
+    })
+}

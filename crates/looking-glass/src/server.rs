@@ -116,7 +116,11 @@ impl LgServer {
 
     /// Handle one request at time `now_ms`.
     pub fn handle(&self, request: &LgRequest, now_ms: u64) -> Result<LgResponse, LgError> {
+        let m = crate::metrics::handles();
+        m.requests.inc();
+        let _timer = m.handle_ns.start();
         if !self.limiter.write().try_acquire(now_ms) {
+            m.rate_limited.inc();
             return Err(LgError::RateLimited);
         }
         let (fail, truncate) = {
@@ -129,6 +133,7 @@ impl LgServer {
             )
         };
         if fail {
+            m.failures_injected.inc();
             return Err(LgError::ServerError);
         }
         match request {
@@ -221,6 +226,7 @@ impl LgServer {
         if truncate && routes.len() > 1 {
             // silent partial data: drop the tail of the page
             routes.truncate(routes.len() / 2);
+            crate::metrics::handles().pages_truncated.inc();
         }
         Ok(LgResponse::Routes {
             routes,
@@ -358,7 +364,9 @@ mod tests {
             Err(LgError::ServerError)
         );
         lg.set_failures(FailureModel::NONE);
-        assert!(lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 100).is_ok());
+        assert!(lg
+            .handle(&LgRequest::Summary { afi: Afi::Ipv4 }, 100)
+            .is_ok());
     }
 
     #[test]
@@ -386,11 +394,70 @@ mod tests {
     }
 
     #[test]
+    fn rate_limiter_drains_full_burst_then_blocks() {
+        let mut limiter = RateLimiter::new(5, 1.0);
+        // the whole burst is available at t=0...
+        for _ in 0..5 {
+            assert!(limiter.try_acquire(0));
+        }
+        // ...and the very next request is rejected
+        assert!(!limiter.try_acquire(0));
+        assert!(!limiter.try_acquire(1));
+    }
+
+    #[test]
+    fn rate_limiter_refill_precision() {
+        let mut limiter = RateLimiter::new(1, 2.0); // one token per 500 ms
+        assert!(limiter.try_acquire(0));
+        // 499 ms refills 0.998 tokens — not enough
+        assert!(!limiter.try_acquire(499));
+        // 1 ms more tops the bucket up to a full token
+        assert!(limiter.try_acquire(500));
+        // fractional refill must accumulate across failed attempts too:
+        // 250 ms + 250 ms = one token even when probed in between
+        assert!(!limiter.try_acquire(750));
+        assert!(limiter.try_acquire(1000));
+    }
+
+    #[test]
+    fn rate_limiter_tolerates_clock_going_backwards() {
+        let mut limiter = RateLimiter::new(2, 1000.0);
+        assert!(limiter.try_acquire(10_000));
+        // a clock step backwards must not panic (saturating_sub) nor
+        // mint tokens from a negative elapsed interval
+        assert!(limiter.try_acquire(2_000));
+        assert!(!limiter.try_acquire(2_000));
+        // time resumes from the regressed value
+        assert!(limiter.try_acquire(2_002));
+    }
+
+    #[test]
+    fn failure_model_is_deterministic_for_a_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let lg = setup(seed);
+            lg.set_limiter(RateLimiter::new(10_000, 10_000.0));
+            lg.set_failures(FailureModel {
+                error_rate: 0.5,
+                truncate_rate: 0.0,
+            });
+            (0..100)
+                .map(|i| lg.handle(&LgRequest::Summary { afi: Afi::Ipv4 }, i).is_ok())
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must inject identical failures");
+        // the model actually fired both ways at p=0.5
+        assert!(a.iter().any(|ok| *ok));
+        assert!(a.iter().any(|ok| !*ok));
+        // and a different seed gives a different trace
+        assert_ne!(a, run(43), "independent seeds should diverge");
+    }
+
+    #[test]
     fn rs_config_endpoint_serves_dictionary_source() {
         let lg = setup(6);
-        let LgResponse::RsConfig { entries } =
-            lg.handle(&LgRequest::RsConfig, 0).unwrap()
-        else {
+        let LgResponse::RsConfig { entries } = lg.handle(&LgRequest::RsConfig, 0).unwrap() else {
             panic!()
         };
         // the RS-config source is the incomplete one (§3)

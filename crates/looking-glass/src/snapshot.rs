@@ -199,7 +199,10 @@ mod tests {
             store.insert(snap(day, day as usize + 1));
         }
         let series = store.series(IxpId::Linx, Afi::Ipv4);
-        assert_eq!(series.iter().map(|s| s.day).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            series.iter().map(|s| s.day).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(store.latest(IxpId::Linx, Afi::Ipv4).unwrap().day, 2);
         assert!(store.series(IxpId::AmsIx, Afi::Ipv4).is_empty());
         assert_eq!(store.len(), 3);

@@ -161,8 +161,8 @@ impl LgTransport for TcpLgClient {
     }
 
     fn request(&mut self, req: &LgRequest, _now_ms: u64) -> Result<LgResponse, LgError> {
-        let mut line = serde_json::to_string(req)
-            .map_err(|e| LgError::Transport(format!("encode: {e}")))?;
+        let mut line =
+            serde_json::to_string(req).map_err(|e| LgError::Transport(format!("encode: {e}")))?;
         line.push('\n');
         self.writer
             .write_all(line.as_bytes())

@@ -121,13 +121,19 @@ mod tests {
 
     #[test]
     fn accepts_normal_route() {
-        assert_eq!(check_import(&route("193.0.10.0/24", &[39120, 15169]), &config()), Ok(()));
+        assert_eq!(
+            check_import(&route("193.0.10.0/24", &[39120, 15169]), &config()),
+            Ok(())
+        );
         assert_eq!(
             check_import(&route("2001:db8:40::/44", &[39120]), &config()),
             // 2001:db8::/32 is a documentation bogon, so pick another block
             Err(FilterReason::BogonPrefix)
         );
-        assert_eq!(check_import(&route("2a00:1450::/32", &[39120]), &config()), Ok(()));
+        assert_eq!(
+            check_import(&route("2a00:1450::/32", &[39120]), &config()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -179,7 +185,8 @@ mod tests {
     fn max_communities_filter() {
         let mut r = route("8.8.8.0/24", &[39120]);
         for i in 0..151u16 {
-            r.standard_communities.push(StandardCommunity::from_parts(39120, i));
+            r.standard_communities
+                .push(StandardCommunity::from_parts(39120, i));
         }
         assert_eq!(
             check_import(&r, &config()),

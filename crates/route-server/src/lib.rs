@@ -35,6 +35,7 @@
 
 pub mod config;
 pub mod filter;
+pub mod metrics;
 pub mod policy;
 pub mod server;
 pub mod stats;

@@ -1,0 +1,122 @@
+//! Route-server telemetry: every [`RsStats`](crate::stats::RsStats) counter
+//! mirrored onto an [`obs::Registry`], plus ingest/export latency histograms
+//! and a member-count gauge.
+//!
+//! The legacy `RsStats` struct stays the public API (`RouteServer::stats`
+//! returns it by reference); this module records the same increments through
+//! shared registry handles so the whole pipeline can be observed through one
+//! snapshot. `tests/obs_regression.rs` in the workspace root asserts the two
+//! bookkeeping paths agree on an identical scenario.
+
+use obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::filter::FilterReason;
+
+/// Metric-name slug for one filter reason
+/// (`rs.routes_filtered.<slug>` counters).
+pub fn filter_reason_slug(reason: FilterReason) -> &'static str {
+    match reason {
+        FilterReason::BogonPrefix => "bogon_prefix",
+        FilterReason::BogonAsn => "bogon_asn",
+        FilterReason::PathTooLong => "path_too_long",
+        FilterReason::TooSpecific => "too_specific",
+        FilterReason::TooBroad => "too_broad",
+        FilterReason::RsAsnInPath => "rs_asn_in_path",
+        FilterReason::EmptyPath => "empty_path",
+        FilterReason::TooManyCommunities => "too_many_communities",
+        FilterReason::BlackholeUnsupported => "blackhole_unsupported",
+        FilterReason::PrefixLimitExceeded => "prefix_limit_exceeded",
+    }
+}
+
+const ALL_REASONS: [FilterReason; 10] = [
+    FilterReason::BogonPrefix,
+    FilterReason::BogonAsn,
+    FilterReason::PathTooLong,
+    FilterReason::TooSpecific,
+    FilterReason::TooBroad,
+    FilterReason::RsAsnInPath,
+    FilterReason::EmptyPath,
+    FilterReason::TooManyCommunities,
+    FilterReason::BlackholeUnsupported,
+    FilterReason::PrefixLimitExceeded,
+];
+
+fn reason_index(reason: FilterReason) -> usize {
+    ALL_REASONS
+        .iter()
+        .position(|r| *r == reason)
+        .expect("every FilterReason is in ALL_REASONS")
+}
+
+/// Pre-minted registry handles for everything the route server records.
+#[derive(Debug, Clone)]
+pub(crate) struct RsMetrics {
+    pub updates_processed: Counter,
+    pub routes_accepted: Counter,
+    pub routes_withdrawn: Counter,
+    pub routes_filtered_total: Counter,
+    pub action_instances: Counter,
+    pub effective_action_instances: Counter,
+    pub ineffective_action_instances: Counter,
+    pub export_evaluations: Counter,
+    pub scrubbed_communities: Counter,
+    pub members: Gauge,
+    pub ingest_ns: Histogram,
+    filtered: Vec<Counter>,
+}
+
+impl RsMetrics {
+    pub fn new(registry: &Registry) -> Self {
+        RsMetrics {
+            updates_processed: registry.counter("rs.updates_processed"),
+            routes_accepted: registry.counter("rs.routes_accepted"),
+            routes_withdrawn: registry.counter("rs.routes_withdrawn"),
+            routes_filtered_total: registry.counter("rs.routes_filtered"),
+            action_instances: registry.counter("rs.action_instances"),
+            effective_action_instances: registry.counter("rs.effective_action_instances"),
+            ineffective_action_instances: registry.counter("rs.ineffective_action_instances"),
+            export_evaluations: registry.counter("rs.export_evaluations"),
+            scrubbed_communities: registry.counter("rs.scrubbed_communities"),
+            members: registry.gauge("rs.members"),
+            ingest_ns: registry.histogram("rs.ingest_update"),
+            filtered: ALL_REASONS
+                .iter()
+                .map(|r| {
+                    registry.counter(&format!("rs.routes_filtered.{}", filter_reason_slug(*r)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Record one filtered route (total + per-reason counters).
+    pub fn record_filtered(&self, reason: FilterReason) {
+        self.routes_filtered_total.inc();
+        self.filtered[reason_index(reason)].inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_reason_has_a_distinct_slug_and_counter() {
+        let mut slugs: Vec<&str> = ALL_REASONS.iter().map(|r| filter_reason_slug(*r)).collect();
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), ALL_REASONS.len());
+
+        let registry = Registry::new();
+        let metrics = RsMetrics::new(&registry);
+        for reason in ALL_REASONS {
+            metrics.record_filtered(reason);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["rs.routes_filtered"], 10);
+        for reason in ALL_REASONS {
+            let name = format!("rs.routes_filtered.{}", filter_reason_slug(reason));
+            assert_eq!(snap.counters[&name], 1, "{name}");
+        }
+    }
+}

@@ -247,7 +247,9 @@ mod tests {
 
     #[test]
     fn unknown_communities_do_not_count_as_actions() {
-        let r = route_with(&[bgp_model::community::StandardCommunity::from_parts(3356, 70)]);
+        let r = route_with(&[bgp_model::community::StandardCommunity::from_parts(
+            3356, 70,
+        )]);
         let p = RoutePolicy::digest(&dict(), &r);
         assert_eq!(p.action_instances, 0);
         assert_eq!(p.decide(Asn(6939)), ExportDecision::ALLOW);

@@ -25,6 +25,7 @@ use community_dict::schemes;
 
 use crate::config::{RsConfig, ScrubPolicy};
 use crate::filter::{check_import, is_blackhole_request, FilterReason};
+use crate::metrics::RsMetrics;
 use crate::policy::RoutePolicy;
 use crate::stats::RsStats;
 
@@ -81,6 +82,7 @@ pub struct RouteServer {
     policies: HashMap<(Asn, Prefix), RoutePolicy>,
     filtered: Vec<FilteredRoute>,
     stats: RsStats,
+    metrics: RsMetrics,
 }
 
 impl RouteServer {
@@ -89,8 +91,17 @@ impl RouteServer {
         RouteServer::new(RsConfig::for_ixp(ixp))
     }
 
-    /// Create a route server with explicit configuration.
+    /// Create a route server with explicit configuration, recording
+    /// telemetry to the process-wide [`obs::global()`] registry.
     pub fn new(config: RsConfig) -> Self {
+        RouteServer::with_registry(config, obs::global())
+    }
+
+    /// Create a route server recording telemetry to an explicit registry
+    /// (an isolated [`obs::Registry::new`] for tests and benchmarks, or
+    /// [`obs::Registry::noop`] to disable recording entirely). The legacy
+    /// [`RsStats`] bookkeeping is always kept regardless.
+    pub fn with_registry(config: RsConfig, registry: &obs::Registry) -> Self {
         let dict = schemes::dictionary(config.ixp);
         RouteServer {
             config,
@@ -100,6 +111,7 @@ impl RouteServer {
             policies: HashMap::new(),
             filtered: Vec::new(),
             stats: RsStats::default(),
+            metrics: RsMetrics::new(registry),
         }
     }
 
@@ -128,6 +140,7 @@ impl RouteServer {
         m.ipv4 |= ipv4;
         m.ipv6 |= ipv6;
         self.rib.ensure_peer(asn);
+        self.metrics.members.set(self.members.len() as i64);
     }
 
     /// Remove a member and all its routes (session down).
@@ -136,6 +149,7 @@ impl RouteServer {
         self.rib.remove_peer(asn);
         self.policies.retain(|(peer, _), _| *peer != asn);
         self.filtered.retain(|f| f.peer != asn);
+        self.metrics.members.set(self.members.len() as i64);
     }
 
     /// Member table.
@@ -159,11 +173,14 @@ impl RouteServer {
         peer: Asn,
         update: &UpdateMessage,
     ) -> Result<Vec<IngestOutcome>, WireError> {
+        let _timer = self.metrics.ingest_ns.start();
         self.stats.updates_processed += 1;
+        self.metrics.updates_processed.inc();
         let content = convert::update_to_routes(update)?;
         for prefix in &content.withdrawn {
             if self.rib.withdraw(peer, prefix).is_some() {
                 self.stats.routes_withdrawn += 1;
+                self.metrics.routes_withdrawn.inc();
                 self.policies.remove(&(peer, *prefix));
             }
         }
@@ -197,6 +214,7 @@ impl RouteServer {
             if held >= limit && !replacing {
                 let reason = FilterReason::PrefixLimitExceeded;
                 self.stats.record_filtered(reason);
+                self.metrics.record_filtered(reason);
                 self.filtered.push(FilteredRoute {
                     peer,
                     route,
@@ -207,6 +225,7 @@ impl RouteServer {
         }
         if let Err(reason) = check_import(&route, &self.config) {
             self.stats.record_filtered(reason);
+            self.metrics.record_filtered(reason);
             self.filtered.push(FilteredRoute {
                 peer,
                 route,
@@ -238,17 +257,23 @@ impl RouteServer {
         // Digest the action communities once, at ingestion.
         let policy = RoutePolicy::digest(&self.dict, &route);
         self.stats.action_instances += policy.action_instances as u64;
+        self.metrics
+            .action_instances
+            .add(policy.action_instances as u64);
         for target in policy.peer_targets() {
             if self.members.contains_key(&target) {
                 self.stats.effective_action_instances += 1;
+                self.metrics.effective_action_instances.inc();
             } else {
                 self.stats.ineffective_action_instances += 1;
+                self.metrics.ineffective_action_instances.inc();
             }
         }
 
         self.policies.insert((peer, route.prefix), policy);
         self.rib.announce(peer, route);
         self.stats.routes_accepted += 1;
+        self.metrics.routes_accepted.inc();
         IngestOutcome::Accepted
     }
 
@@ -257,6 +282,7 @@ impl RouteServer {
         let had = self.rib.withdraw(peer, prefix).is_some();
         if had {
             self.stats.routes_withdrawn += 1;
+            self.metrics.routes_withdrawn.inc();
             self.policies.remove(&(peer, *prefix));
         }
         had
@@ -302,6 +328,7 @@ impl RouteServer {
                     continue;
                 }
                 self.stats.export_evaluations += 1;
+                self.metrics.export_evaluations.inc();
                 let policy = self
                     .policies
                     .get(&(announcer, route.prefix))
@@ -351,6 +378,9 @@ impl RouteServer {
             ScrubPolicy::None => {}
             ScrubPolicy::All => {
                 self.stats.scrubbed_communities += route.community_count() as u64;
+                self.metrics
+                    .scrubbed_communities
+                    .add(route.community_count() as u64);
                 route.scrub_communities();
                 if is_blackhole {
                     // peers still need the RFC 7999 signal
@@ -374,8 +404,9 @@ impl RouteServer {
                         .action()
                         .is_none()
                 });
-                self.stats.scrubbed_communities +=
-                    (before - route.community_count()) as u64;
+                let scrubbed = (before - route.community_count()) as u64;
+                self.stats.scrubbed_communities += scrubbed;
+                self.metrics.scrubbed_communities.add(scrubbed);
             }
         }
     }
@@ -443,19 +474,17 @@ mod tests {
     #[test]
     fn avoid_community_blocks_target_only() {
         let mut server = rs();
-        let r = route(
-            "193.0.10.0/24",
-            &[schemes::avoid_community(IXP, Asn(6939))],
-        );
+        let r = route("193.0.10.0/24", &[schemes::avoid_community(IXP, Asn(6939))]);
         server.announce(Asn(39120), r);
         assert!(server.export_to(Asn(6939)).is_empty());
         let to_google = server.export_to(Asn(15169));
         assert_eq!(to_google.len(), 1);
         // the action community was scrubbed on export
-        assert!(to_google[0]
-            .standard_communities
-            .iter()
-            .all(|c| server.dictionary().classify(*c).action().is_none()));
+        assert!(to_google[0].standard_communities.iter().all(|c| server
+            .dictionary()
+            .classify(*c)
+            .action()
+            .is_none()));
     }
 
     #[test]
@@ -464,7 +493,7 @@ mod tests {
         let r = route(
             "193.0.10.0/24",
             &[
-                schemes::avoid_community(IXP, Asn(6939)),  // member → effective
+                schemes::avoid_community(IXP, Asn(6939)), // member → effective
                 schemes::avoid_community(IXP, Asn(16276)), // OVH not member → ineffective
             ],
         );
@@ -541,20 +570,14 @@ mod tests {
         assert_eq!(server.announce(Asn(39120), r), IngestOutcome::Accepted);
         let exp = server.export_to(Asn(6939));
         assert_eq!(exp.len(), 1);
-        assert_eq!(
-            exp[0].next_hop,
-            server.config().blackhole_next_hop_v4
-        );
+        assert_eq!(exp[0].next_hop, server.config().blackhole_next_hop_v4);
         assert!(exp[0].has_standard(well_known::BLACKHOLE));
     }
 
     #[test]
     fn wire_updates_ingest() {
         let mut server = rs();
-        let r = route(
-            "193.0.10.0/24",
-            &[schemes::avoid_community(IXP, Asn(6939))],
-        );
+        let r = route("193.0.10.0/24", &[schemes::avoid_community(IXP, Asn(6939))]);
         let update = routes_to_update(std::slice::from_ref(&r));
         let outcomes = server.ingest_update(Asn(39120), &update).unwrap();
         assert_eq!(outcomes, vec![IngestOutcome::Accepted]);
@@ -584,12 +607,18 @@ mod tests {
         let mut server = rs();
         server.add_member(Asn(48500), true, false);
         // two members announce the same prefix with different path lengths
-        let short = Route::builder("81.0.0.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
-            .path([39120, 15169])
-            .build();
-        let long = Route::builder("81.0.0.0/24".parse().unwrap(), "198.32.0.8".parse().unwrap())
-            .path([48500, 51000, 15169])
-            .build();
+        let short = Route::builder(
+            "81.0.0.0/24".parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([39120, 15169])
+        .build();
+        let long = Route::builder(
+            "81.0.0.0/24".parse().unwrap(),
+            "198.32.0.8".parse().unwrap(),
+        )
+        .path([48500, 51000, 15169])
+        .build();
         server.announce(Asn(39120), short);
         server.announce(Asn(48500), long);
         let best = server.export_best_to(Asn(6939));
@@ -675,9 +704,12 @@ mod tests {
         }
         assert_eq!(server.accepted().route_count(), 3);
         // replacing an existing prefix stays allowed at the limit
-        let r = Route::builder("193.0.1.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
-            .path([39120, 15169])
-            .build();
+        let r = Route::builder(
+            "193.0.1.0/24".parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([39120, 15169])
+        .build();
         assert_eq!(server.announce(Asn(39120), r), IngestOutcome::Accepted);
         assert_eq!(server.accepted().route_count(), 3);
     }

@@ -15,8 +15,8 @@ const PEERS: [u32; 6] = [39120, 6939, 15169, 13335, 20940, 2906];
 
 #[derive(Debug, Clone)]
 struct ActionSpec {
-    avoid: Vec<usize>,      // indexes into PEERS
-    only: Vec<usize>,       // indexes into PEERS
+    avoid: Vec<usize>, // indexes into PEERS
+    only: Vec<usize>,  // indexes into PEERS
     avoid_all: bool,
     announce_all: bool,
     prepend: Option<(usize, u8)>,
@@ -30,13 +30,15 @@ fn arb_spec() -> impl Strategy<Value = ActionSpec> {
         any::<bool>(),
         proptest::option::of((0usize..PEERS.len(), 1u8..=3)),
     )
-        .prop_map(|(avoid, only, avoid_all, announce_all, prepend)| ActionSpec {
-            avoid,
-            only,
-            avoid_all,
-            announce_all,
-            prepend,
-        })
+        .prop_map(
+            |(avoid, only, avoid_all, announce_all, prepend)| ActionSpec {
+                avoid,
+                only,
+                avoid_all,
+                announce_all,
+                prepend,
+            },
+        )
 }
 
 fn build_route(announcer: Asn, spec: &ActionSpec) -> Route {
@@ -104,10 +106,9 @@ proptest! {
                 true
             } else if !onlyed.is_empty() && !spec.announce_all {
                 false
-            } else if spec.avoid_all && !spec.announce_all {
-                false
             } else {
-                true
+                // blocked only by an avoid-all with no announce-all override
+                !spec.avoid_all || spec.announce_all
             };
             prop_assert_eq!(got, expected, "peer {} spec {:?}", peer, spec);
 

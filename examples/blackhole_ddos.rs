@@ -34,7 +34,10 @@ fn main() {
     decix.add_member(peer, true, false);
 
     println!("DE-CIX: {victim_as} announces {attacker_target}/32 with 65535:666");
-    let outcome = decix.announce(victim_as, blackhole_announcement(attacker_target, victim_as));
+    let outcome = decix.announce(
+        victim_as,
+        blackhole_announcement(attacker_target, victim_as),
+    );
     println!("  ingestion: {outcome:?}");
     assert_eq!(outcome, IngestOutcome::Accepted);
 
@@ -80,7 +83,10 @@ fn main() {
     let mut ixbr = RouteServer::for_ixp(IxpId::IxBrSp);
     ixbr.add_member(victim_as, true, false);
     println!("\nIX.br-SP: the same announcement is rejected:");
-    let outcome = ixbr.announce(victim_as, blackhole_announcement(attacker_target, victim_as));
+    let outcome = ixbr.announce(
+        victim_as,
+        blackhole_announcement(attacker_target, victim_as),
+    );
     println!("  ingestion: {outcome:?}");
     assert_eq!(
         outcome,

@@ -58,11 +58,27 @@ fn main() {
     let f3 = fig3(&view);
     let ineff = ineffective(&view);
     println!("\ncommunity instances : {}", f1.total);
-    println!("  IXP-defined       : {} ({:.1}%)", f1.ixp_defined, f1.defined_pct());
-    println!("  unknown           : {} ({:.1}%)", f1.unknown, f1.unknown_pct());
+    println!(
+        "  IXP-defined       : {} ({:.1}%)",
+        f1.ixp_defined,
+        f1.defined_pct()
+    );
+    println!(
+        "  unknown           : {} ({:.1}%)",
+        f1.unknown,
+        f1.unknown_pct()
+    );
     println!("of the standard IXP-defined ones:");
-    println!("  action            : {} ({:.1}%)", f3.action, f3.action_pct());
-    println!("  informational     : {} ({:.1}%)", f3.informational, f3.informational_pct());
+    println!(
+        "  action            : {} ({:.1}%)",
+        f3.action,
+        f3.action_pct()
+    );
+    println!(
+        "  informational     : {} ({:.1}%)",
+        f3.informational,
+        f3.informational_pct()
+    );
     println!(
         "action instances targeting ASes not at the RS: {:.1}% (paper §5.5: 64.3% at LINX)",
         ineff.pct()
@@ -70,7 +86,10 @@ fn main() {
 
     // archive the snapshot as an MRT RIB dump, like the released dataset
     let mrt = report.snapshot.to_mrt().expect("mrt encode");
-    println!("\nsnapshot serializes to {} bytes of MRT TABLE_DUMP_V2", mrt.len());
+    println!(
+        "\nsnapshot serializes to {} bytes of MRT TABLE_DUMP_V2",
+        mrt.len()
+    );
     let restored = Snapshot::from_mrt(ixp, Afi::Ipv4, mrt).expect("mrt decode");
     assert_eq!(restored.route_count(), report.snapshot.route_count());
 

@@ -48,7 +48,7 @@ fn main() {
         .filter(|(_, (_, bad))| *bad > 0)
         .map(|(asn, (total, bad))| (asn, total, bad))
         .collect();
-    rows.sort_by(|a, b| b.2.cmp(&a.2));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.2));
 
     let mut table = TextTable::new(
         format!("{ixp}: members whose action communities target non-RS ASes"),

@@ -56,7 +56,10 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("total community instances observed: {}", human_count(total_instances));
+    println!(
+        "total community instances observed: {}",
+        human_count(total_instances)
+    );
 
     // the paper's three headline findings, checked against the world
     let mut min_users = f64::MAX;

@@ -62,7 +62,10 @@ fn main() {
     // export: HE must not receive the route, Google gets it prepended
     let to_he = rs.export_to(he);
     let to_google = rs.export_to(google);
-    println!("\nexport towards {he}: {} routes (action executed)", to_he.len());
+    println!(
+        "\nexport towards {he}: {} routes (action executed)",
+        to_he.len()
+    );
     assert!(to_he.is_empty());
     let g = &to_google[0];
     println!(

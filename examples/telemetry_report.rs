@@ -1,0 +1,58 @@
+//! Telemetry report: the observability layer watching a collection run.
+//!
+//! Runs a small two-IXP scenario (world build → LG collection) against
+//! the process-wide [`obs::global()`] registry with the JSONL event
+//! ring enabled, then prints the metrics snapshot, the five slowest
+//! spans by total time, and a taste of the trace log — the same
+//! telemetry `repro` writes to `telemetry.json` next to its tables.
+//!
+//! ```text
+//! cargo run --release --example telemetry_report
+//! ```
+
+use ixp_actions::prelude::*;
+use ixp_sim::scenario::{self, ScenarioConfig};
+use ixp_sim::world::WorldConfig;
+
+fn main() {
+    let registry = obs::global();
+    registry.enable_events(1024);
+    let baseline = registry.snapshot();
+
+    // a small scenario: two IXPs at 5% scale, with a flaky LG so the
+    // failure-path counters move too
+    let config = ScenarioConfig {
+        world: WorldConfig {
+            seed: 7,
+            scale: 0.05,
+        },
+        ixps: vec![IxpId::DeCixFra, IxpId::Linx],
+        failures: looking_glass::server::FailureModel::FLAKY,
+        day: 83,
+    };
+    let scenario = scenario::run(&config);
+    println!(
+        "collected {} snapshots across {} IXPs\n",
+        scenario.store.len(),
+        config.ixps.len()
+    );
+
+    // everything this run recorded, as counters/gauges + slowest spans
+    let telemetry = registry.snapshot().diff(&baseline);
+    print!("{}", obs::render_report(&telemetry, 5));
+
+    // the span event ring doubles as a JSONL trace log
+    let events = registry.events();
+    println!("\ntrace ring holds {} events; last three:", events.len());
+    for event in events.iter().rev().take(3).rev() {
+        println!("  {}", serde_json::to_string(event).unwrap());
+    }
+
+    // the same snapshot serializes to JSON and Prometheus text
+    let prom = telemetry.to_prometheus();
+    let lines: Vec<&str> = prom.lines().take(6).collect();
+    println!("\nPrometheus exposition (first lines):");
+    for line in lines {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, test, lint, format.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --fast     # skip the release build
+#
+# Keep this in sync with the "Observability" section of README.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --workspace"
+cargo build --workspace --all-targets
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> cargo build --workspace --release"
+    cargo build --workspace --release
+fi
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI OK"

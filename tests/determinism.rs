@@ -42,10 +42,7 @@ fn different_seeds_different_worlds_same_shapes() {
     let dict = schemes::dictionary(IxpId::Linx);
     let mut action_pcts = Vec::new();
     for seed in [1u64, 2, 3] {
-        let world = build_ixp(
-            IxpId::Linx,
-            &WorldConfig { seed, scale: 0.04 },
-        );
+        let world = build_ixp(IxpId::Linx, &WorldConfig { seed, scale: 0.04 });
         let lg = LgServer::new(
             std::sync::Arc::new(parking_lot::RwLock::new(world.rs)),
             seed,

@@ -11,10 +11,7 @@ fn small_snapshot() -> Snapshot {
             scale: 0.05,
         },
     );
-    let lg = LgServer::new(
-        std::sync::Arc::new(parking_lot::RwLock::new(world.rs)),
-        9,
-    );
+    let lg = LgServer::new(std::sync::Arc::new(parking_lot::RwLock::new(world.rs)), 9);
     let mut t = &lg;
     Collector::default()
         .collect(&mut t, Afi::Ipv4, 83, 0)
@@ -42,7 +39,10 @@ fn snapshot_roundtrips_json_and_mrt() {
     let announcers: std::collections::BTreeSet<Asn> =
         snap.announcing_members().into_iter().collect();
     assert_eq!(
-        back.members.iter().copied().collect::<std::collections::BTreeSet<_>>(),
+        back.members
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>(),
         announcers
     );
 }

@@ -42,13 +42,19 @@ fn session_update_ingest_export_roundtrip() {
 
     // announce two routes, one avoiding HE, over real bytes
     let routes = vec![
-        Route::builder("193.0.10.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
-            .path([member.value()])
-            .standard(schemes::avoid_community(IXP, Asn(6939)))
-            .build(),
-        Route::builder("2a00:1450::/32".parse().unwrap(), "2001:7f8::1".parse().unwrap())
-            .path([member.value()])
-            .build(),
+        Route::builder(
+            "193.0.10.0/24".parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([member.value()])
+        .standard(schemes::avoid_community(IXP, Asn(6939)))
+        .build(),
+        Route::builder(
+            "2a00:1450::/32".parse().unwrap(),
+            "2001:7f8::1".parse().unwrap(),
+        )
+        .path([member.value()])
+        .build(),
     ];
     for update in routes_to_updates(&routes) {
         let Action::Send(wire) = member_fsm.send_update(update).unwrap() else {
@@ -123,9 +129,12 @@ fn malformed_update_tears_session_down_but_not_rs() {
     rs.add_member(member, true, false);
 
     // a valid route first
-    let r = Route::builder("193.0.10.0/24".parse().unwrap(), "198.32.0.7".parse().unwrap())
-        .path([member.value()])
-        .build();
+    let r = Route::builder(
+        "193.0.10.0/24".parse().unwrap(),
+        "198.32.0.7".parse().unwrap(),
+    )
+    .path([member.value()])
+    .build();
     let wire = Message::Update(routes_to_update(std::slice::from_ref(&r)))
         .encode()
         .unwrap();
@@ -136,9 +145,7 @@ fn malformed_update_tears_session_down_but_not_rs() {
 
     // then garbage: the FSM notifies and resets, the RS keeps its RIB
     let acts = rs_fsm.handle(Event::BytesReceived(BytesMut::from(&[0u8; 40][..])));
-    assert!(acts
-        .iter()
-        .any(|a| matches!(a, Action::SessionDown(_))));
+    assert!(acts.iter().any(|a| matches!(a, Action::SessionDown(_))));
     assert_eq!(rs_fsm.state(), State::Idle);
     assert_eq!(rs.accepted().route_count(), 1);
 

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `black_box`,
+//! `Throughput`, `BatchSize`) as a simple wall-clock harness: each
+//! benchmark is warmed up briefly, then timed over enough iterations
+//! to pass a minimum measuring window, and the mean ns/iter is printed.
+//! There is no statistical analysis — the numbers are indicative, the
+//! API compatibility is the point.
+
+// Stand-in code mirrors upstream API shapes; keeping it clippy-clean is
+// churn with no payoff, so lints are off wholesale (see vendor/README.md).
+#![allow(clippy::all)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    /// (iterations, total duration) recorded by the last run.
+    result: Option<(u64, Duration)>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time a closure, repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up and calibration pass
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let target = (self.measurement_time.as_nanos() / per_iter.max(1)).clamp(10, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.result = Some((target as u64, start.elapsed()));
+    }
+
+    /// Time a closure with a fresh input per iteration (setup untimed in
+    /// spirit; here setup cost is excluded by timing only the routine).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // calibration
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = warm_start.elapsed().as_nanos().max(1);
+        let target = (self.measurement_time.as_nanos() / per_iter).clamp(10, 1_000_000);
+
+        let inputs: Vec<I> = (0..target).map(|_| setup()).collect();
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        for input in inputs {
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        let _ = start;
+        self.result = Some((target as u64, total));
+    }
+}
+
+fn report(name: &str, result: Option<(u64, Duration)>, throughput: Option<Throughput>) {
+    match result {
+        Some((iters, total)) => {
+            let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+            let mut line = format!("bench {name:<50} {ns:>14.1} ns/iter ({iters} iters)");
+            if let Some(tp) = throughput {
+                let per_sec = match tp {
+                    Throughput::Bytes(b) => format!("{:.1} MiB/s", b as f64 / ns * 953.674),
+                    Throughput::Elements(e) => {
+                        format!("{:.2} Melem/s", e as f64 / ns * 1000.0)
+                    }
+                };
+                line.push_str(&format!("  [{per_sec}]"));
+            }
+            println!("{line}");
+        }
+        None => println!("bench {name:<50} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark measuring window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the sample count (accepted for API compatibility; unused).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher {
+            result: None,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&name, b.result, None);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the group's measuring window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Set the group's sample count (unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher {
+            result: None,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut b);
+        report(&full, b.result, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the macro and strategy surface this workspace's property
+//! tests use — `proptest!`, `prop_compose!`, `prop_oneof!`, `any`,
+//! ranges, tuples, `collection::vec`, `option::of`, `sample::select`,
+//! `prop_map` / `prop_filter` — as plain deterministic random testing.
+//! Each test case draws values from a seeded [`rand::rngs::StdRng`]
+//! (seed = hash of module path, test name, case index), so failures
+//! reproduce exactly. There is no shrinking: a failing case panics with
+//! the generated inputs available via `prop_assert_*` messages.
+
+// Stand-in code mirrors upstream API shapes; keeping it clippy-clean is
+// churn with no payoff, so lints are off wholesale (see vendor/README.md).
+#![allow(clippy::all)]
+
+pub use rand::rngs::StdRng as __Rng;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Run configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+#[doc(hidden)]
+pub fn __rng_for(module: &str, name: &str, case: u64) -> StdRng {
+    // FNV-1a over the identifying strings, mixed with the case index
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in module.bytes().chain([b':']).chain(name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Reject generated values failing a predicate (re-draws, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> strategy::Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: std::rc::Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    gen: std::rc::Rc<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            gen: std::rc::Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform strategy over every value of `T`.
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+/// Uniform strategy over every value of `T` (via [`rand::Random`]).
+pub fn any<T: rand::Random>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: rand::Random> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+);
+
+pub mod strategy {
+    //! Combinator strategy types.
+
+    use super::{StdRng, Strategy};
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator (bounded rejection sampling).
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: String,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter: too many rejections ({})", self.reason);
+        }
+    }
+
+    /// Closure-backed strategy (used by `prop_compose!`).
+    pub struct FnStrategy<T, F: Fn(&mut StdRng) -> T> {
+        f: F,
+    }
+
+    impl<T, F: Fn(&mut StdRng) -> T> FnStrategy<T, F> {
+        /// Wrap a generator closure.
+        pub fn new(f: F) -> Self {
+            Self { f }
+        }
+    }
+
+    impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Weighted union of boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, super::BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` pairs.
+        pub fn new_weighted(options: Vec<(u32, super::BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one option");
+            Self { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::RngExt as _;
+            let mut pick = rng.random_range(0..self.total);
+            for (w, s) in &self.options {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt as _;
+
+    /// Acceptable size specifications for [`vec`].
+    pub trait SizeRange {
+        /// Draw a concrete length.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `R`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generate vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt as _;
+
+    /// Strategy for `Option<S::Value>` (None with probability 1/2).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generate `Some` values from `inner` half of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random::<bool>() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt as _;
+
+    /// Uniform choice from a fixed set.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from `options`.
+    pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "select over an empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports for property tests.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Top-level namespace mirror (`proptest::prop::...` is not used by the
+/// workspace, but `prop_oneof!` expands through here).
+#[doc(hidden)]
+pub mod __macro_support {
+    pub use super::strategy::Union;
+    pub use super::Strategy;
+}
+
+/// Assert within a property test (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted or uniform union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::__macro_support::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::__macro_support::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Define a function returning a composed strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    ($vis:vis fn $name:ident()($($arg:ident in $strat:expr),* $(,)?) -> $ret:ty $body:block) => {
+        $vis fn $name() -> impl $crate::Strategy<Value = $ret> {
+            let __strats = ($(($strat),)*);
+            $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::__Rng| {
+                let ($(ref $arg,)*) = __strats;
+                let ($($arg,)*) = ($($crate::Strategy::generate($arg, __rng),)*);
+                $body
+            })
+        }
+    };
+}
+
+/// Declare property tests: each `fn` runs `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strats = ($(($strat),)*);
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::__rng_for(module_path!(), stringify!($name), __case as u64);
+                    let ($($arg,)*) = {
+                        let ($(ref $arg,)*) = __strats;
+                        ($($crate::Strategy::generate($arg, &mut __rng),)*)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..10, b in 0u8..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (any::<u16>(), 1usize..5).prop_map(|(v, n)| vec![v; n])) {
+            prop_assert!(!pair.is_empty() && pair.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(v.len() < 8);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let a: Vec<u64> = {
+            let mut r = crate::__rng_for("m", "t", 3);
+            (0..4).map(|_| rand::RngCore::next_u64(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::__rng_for("m", "t", 3);
+            (0..4).map(|_| rand::RngCore::next_u64(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,1025 @@
+//! Offline stand-in for `serde`.
+//!
+//! Implements the serde trait surface this workspace uses — `Serialize`,
+//! `Deserialize`, `Serializer`, `Deserializer`, derive macros, and
+//! `ser::Error` / `de::Error` — over a simplified, JSON-shaped data
+//! model: every value serializes into a [`content::Content`] tree, and
+//! deserializes back out of one. `serde_json` (the sibling stub) parses
+//! and prints these trees.
+//!
+//! The simplification relative to real serde: `Deserializer` is not
+//! visitor-based; it hands back an owned `Content` which `Deserialize`
+//! impls pattern-match. Manual impls written against real serde's
+//! signatures (`serialize_str`, `String::deserialize(d)?`,
+//! `de::Error::custom`) compile unchanged.
+
+// Stand-in code mirrors upstream API shapes; keeping it clippy-clean is
+// churn with no payoff, so lints are off wholesale (see vendor/README.md).
+#![allow(clippy::all)]
+
+pub mod content {
+    //! The JSON-shaped value tree both halves of the data model share.
+
+    /// A dynamically typed serialized value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// JSON `null`.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Non-negative integer.
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating point number.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Seq(Vec<Content>),
+        /// Object (insertion-ordered).
+        Map(Vec<(String, Content)>),
+    }
+
+    impl Content {
+        /// Render a map key: strings pass through, numbers and bools
+        /// stringify (matching serde_json's integer-keyed maps).
+        pub fn into_key(self) -> Result<String, String> {
+            match self {
+                Content::Str(s) => Ok(s),
+                Content::U64(v) => Ok(v.to_string()),
+                Content::I64(v) => Ok(v.to_string()),
+                Content::Bool(v) => Ok(v.to_string()),
+                other => Err(format!("cannot use {other:?} as a map key")),
+            }
+        }
+    }
+}
+
+use content::Content;
+
+pub mod ser {
+    //! Serialization half of the data model.
+
+    use super::Content;
+    use std::fmt::Display;
+
+    /// Errors produced during serialization.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Compound serializer for sequences.
+    pub trait SerializeSeq {
+        /// Final value type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one element.
+        fn serialize_element<T: super::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for maps.
+    pub trait SerializeMap {
+        /// Final value type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one key.
+        fn serialize_key<T: super::Serialize + ?Sized>(
+            &mut self,
+            key: &T,
+        ) -> Result<(), Self::Error>;
+        /// Append the value for the pending key.
+        fn serialize_value<T: super::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Append a full entry.
+        fn serialize_entry<K: super::Serialize + ?Sized, V: super::Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error> {
+            self.serialize_key(key)?;
+            self.serialize_value(value)
+        }
+        /// Finish the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for structs.
+    pub trait SerializeStruct {
+        /// Final value type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one named field.
+        fn serialize_field<T: super::Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for struct enum variants.
+    pub trait SerializeStructVariant {
+        /// Final value type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one named field.
+        fn serialize_field<T: super::Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuple enum variants.
+    pub trait SerializeTupleVariant {
+        /// Final value type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one positional field.
+        fn serialize_field<T: super::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A format backend. The workspace's only backend builds [`Content`]
+    /// trees (see [`ContentSerializer`]), which `serde_json` prints.
+    pub trait Serializer: Sized {
+        /// Value produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Map sub-serializer.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct sub-serializer.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct-variant sub-serializer.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-variant sub-serializer.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serialize a bool.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+        /// Serialize the `Display` rendering of `value` as a string.
+        fn collect_str<T: std::fmt::Display + ?Sized>(
+            self,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error> {
+            self.serialize_str(&value.to_string())
+        }
+        /// Serialize a unit value (JSON `null`).
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `None` (JSON `null`).
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `Some(value)` as the bare value.
+        fn serialize_some<T: super::Serialize + ?Sized>(
+            self,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begin a sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begin a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begin a struct.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Serialize a dataless enum variant as its name.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a newtype variant as `{"Variant": value}`.
+        fn serialize_newtype_variant<T: super::Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begin a struct variant (`{"Variant": {..fields..}}`).
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+        /// Begin a tuple variant (`{"Variant": [..fields..]}`).
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        /// Serialize a newtype struct as its inner value.
+        fn serialize_newtype_struct<T: super::Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// The canonical backend: builds a [`Content`] tree.
+    pub struct ContentSerializer<E> {
+        marker: std::marker::PhantomData<E>,
+    }
+
+    impl<E> Default for ContentSerializer<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> ContentSerializer<E> {
+        /// New content serializer.
+        pub fn new() -> Self {
+            Self {
+                marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Helper: serialize any value straight to a [`Content`] tree.
+    pub fn to_content<T: super::Serialize + ?Sized, E: Error>(value: &T) -> Result<Content, E> {
+        value.serialize(ContentSerializer::<E>::new())
+    }
+
+    /// In-progress sequence for [`ContentSerializer`].
+    pub struct ContentSeq<E> {
+        items: Vec<Content>,
+        marker: std::marker::PhantomData<E>,
+    }
+
+    /// In-progress map for [`ContentSerializer`].
+    pub struct ContentMap<E> {
+        entries: Vec<(String, Content)>,
+        pending_key: Option<String>,
+        marker: std::marker::PhantomData<E>,
+    }
+
+    /// In-progress struct (or struct variant) for [`ContentSerializer`].
+    pub struct ContentStruct<E> {
+        variant: Option<&'static str>,
+        fields: Vec<(String, Content)>,
+        marker: std::marker::PhantomData<E>,
+    }
+
+    /// In-progress tuple variant for [`ContentSerializer`].
+    pub struct ContentTupleVariant<E> {
+        variant: &'static str,
+        items: Vec<Content>,
+        marker: std::marker::PhantomData<E>,
+    }
+
+    impl<E: Error> SerializeSeq for ContentSeq<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_element<T: super::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+            self.items.push(to_content(value)?);
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            Ok(Content::Seq(self.items))
+        }
+    }
+
+    impl<E: Error> SerializeMap for ContentMap<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_key<T: super::Serialize + ?Sized>(&mut self, key: &T) -> Result<(), E> {
+            let c = to_content(key)?;
+            self.pending_key = Some(c.into_key().map_err(E::custom)?);
+            Ok(())
+        }
+        fn serialize_value<T: super::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+            let key = self
+                .pending_key
+                .take()
+                .ok_or_else(|| E::custom("serialize_value before serialize_key"))?;
+            self.entries.push((key, to_content(value)?));
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            Ok(Content::Map(self.entries))
+        }
+    }
+
+    impl<E: Error> SerializeStruct for ContentStruct<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_field<T: super::Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), E> {
+            self.fields.push((name.to_string(), to_content(value)?));
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            let body = Content::Map(self.fields);
+            Ok(match self.variant {
+                Some(v) => Content::Map(vec![(v.to_string(), body)]),
+                None => body,
+            })
+        }
+    }
+
+    impl<E: Error> SerializeStructVariant for ContentStruct<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_field<T: super::Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), E> {
+            SerializeStruct::serialize_field(self, name, value)
+        }
+        fn end(self) -> Result<Content, E> {
+            SerializeStruct::end(self)
+        }
+    }
+
+    impl<E: Error> SerializeTupleVariant for ContentTupleVariant<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_field<T: super::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+            self.items.push(to_content(value)?);
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            Ok(Content::Map(vec![(
+                self.variant.to_string(),
+                Content::Seq(self.items),
+            )]))
+        }
+    }
+
+    impl<E: Error> Serializer for ContentSerializer<E> {
+        type Ok = Content;
+        type Error = E;
+        type SerializeSeq = ContentSeq<E>;
+        type SerializeMap = ContentMap<E>;
+        type SerializeStruct = ContentStruct<E>;
+        type SerializeStructVariant = ContentStruct<E>;
+        type SerializeTupleVariant = ContentTupleVariant<E>;
+
+        fn serialize_bool(self, v: bool) -> Result<Content, E> {
+            Ok(Content::Bool(v))
+        }
+        fn serialize_i64(self, v: i64) -> Result<Content, E> {
+            if v >= 0 {
+                Ok(Content::U64(v as u64))
+            } else {
+                Ok(Content::I64(v))
+            }
+        }
+        fn serialize_u64(self, v: u64) -> Result<Content, E> {
+            Ok(Content::U64(v))
+        }
+        fn serialize_f64(self, v: f64) -> Result<Content, E> {
+            Ok(Content::F64(v))
+        }
+        fn serialize_str(self, v: &str) -> Result<Content, E> {
+            Ok(Content::Str(v.to_string()))
+        }
+        fn serialize_unit(self) -> Result<Content, E> {
+            Ok(Content::Null)
+        }
+        fn serialize_none(self) -> Result<Content, E> {
+            Ok(Content::Null)
+        }
+        fn serialize_some<T: super::Serialize + ?Sized>(self, value: &T) -> Result<Content, E> {
+            to_content(value)
+        }
+        fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeq<E>, E> {
+            Ok(ContentSeq {
+                items: Vec::with_capacity(len.unwrap_or(0)),
+                marker: std::marker::PhantomData,
+            })
+        }
+        fn serialize_map(self, len: Option<usize>) -> Result<ContentMap<E>, E> {
+            Ok(ContentMap {
+                entries: Vec::with_capacity(len.unwrap_or(0)),
+                pending_key: None,
+                marker: std::marker::PhantomData,
+            })
+        }
+        fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentStruct<E>, E> {
+            Ok(ContentStruct {
+                variant: None,
+                fields: Vec::with_capacity(len),
+                marker: std::marker::PhantomData,
+            })
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Content, E> {
+            Ok(Content::Str(variant.to_string()))
+        }
+        fn serialize_newtype_variant<T: super::Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            _variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Content, E> {
+            Ok(Content::Map(vec![(
+                variant.to_string(),
+                to_content(value)?,
+            )]))
+        }
+        fn serialize_struct_variant(
+            self,
+            _name: &'static str,
+            _variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<ContentStruct<E>, E> {
+            Ok(ContentStruct {
+                variant: Some(variant),
+                fields: Vec::with_capacity(len),
+                marker: std::marker::PhantomData,
+            })
+        }
+        fn serialize_tuple_variant(
+            self,
+            _name: &'static str,
+            _variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<ContentTupleVariant<E>, E> {
+            Ok(ContentTupleVariant {
+                variant,
+                items: Vec::with_capacity(len),
+                marker: std::marker::PhantomData,
+            })
+        }
+        fn serialize_newtype_struct<T: super::Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<Content, E> {
+            to_content(value)
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+
+    use super::Content;
+    use std::fmt::Display;
+
+    /// Errors produced during deserialization.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A format frontend. Simplified relative to real serde: the
+    /// deserializer surrenders an owned [`Content`] tree which
+    /// `Deserialize` impls pattern-match.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Take the underlying value tree.
+        fn take_content(self) -> Result<Content, Self::Error>;
+    }
+
+    /// Deserializer over an in-memory [`Content`] tree.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        marker: std::marker::PhantomData<E>,
+    }
+
+    impl<E> ContentDeserializer<E> {
+        /// Wrap a content tree.
+        pub fn new(content: Content) -> Self {
+            Self {
+                content,
+                marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+        fn take_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serialize into the given backend.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: ser::Serializer;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given frontend.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: de::Deserializer<'de>;
+}
+
+/// Owned-deserializable marker (mirrors serde's blanket impl).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+impl Serialize for bool {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for char {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+impl Serialize for () {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<'a, S, T, I>(s: S, iter: I, len: usize) -> Result<S::Ok, S::Error>
+where
+    S: ser::Serializer,
+    T: Serialize + 'a,
+    I: Iterator<Item = &'a T>,
+{
+    use ser::SerializeSeq as _;
+    let mut seq = s.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.iter(), self.len())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.iter(), self.len())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.iter(), N)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.iter(), self.len())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.iter(), self.len())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.iter(), self.len())
+    }
+}
+
+macro_rules! impl_ser_map {
+    ($map:ident $(, $extra:path)?) => {
+        impl<K: Serialize $(+ $extra)?, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeMap as _;
+                let mut map = s.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    };
+}
+impl_ser_map!(BTreeMap, Ord);
+impl_ser_map!(HashMap);
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeSeq as _;
+                let mut seq = s.serialize_seq(None)?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+    )+};
+}
+impl_ser_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl Serialize for std::net::IpAddr {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+impl Serialize for std::net::Ipv6Addr {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+impl Serialize for std::time::Duration {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(self.as_secs_f64())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.take_content()?;
+                match c {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(v as $t),
+                    // map keys arrive as strings; accept parseable numerics
+                    Content::Str(s) => s.parse::<$t>()
+                        .map_err(|e| de::Error::custom(format!("invalid {}: {e}", stringify!($t)))),
+                    other => Err(de::Error::custom(format!(
+                        "expected {}, found {other:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::Str(s) => s.parse::<$t>()
+                        .map_err(|e| de::Error::custom(format!("invalid float: {e}"))),
+                    other => Err(de::Error::custom(format!("expected float, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(v) => Ok(v),
+            Content::Str(s) if s == "true" => Ok(true),
+            Content::Str(s) if s == "false" => Ok(false),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(de::Error::custom(format!("expected null, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            c => T::deserialize(de::ContentDeserializer::<D::Error>::new(c)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+// Supports `&'static str` fields (e.g. display-only labels in config
+// structs). The string is leaked to obtain the `'static` lifetime, so this
+// is for small, infrequently-deserialized values — fine for our configs.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(Box::leak(s.into_boxed_str())),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Ok(v) => s.serialize_newtype_variant("Result", 0, "Ok", v),
+            Err(e) => s.serialize_newtype_variant("Result", 1, "Err", e),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut entries = content_map::<D::Error>(d.take_content()?)?;
+        if entries.len() != 1 {
+            return Err(de::Error::custom("expected single-key Ok/Err map"));
+        }
+        let (key, value) = entries.remove(0);
+        match key.as_str() {
+            "Ok" => T::deserialize(de::ContentDeserializer::<D::Error>::new(value)).map(Ok),
+            "Err" => E::deserialize(de::ContentDeserializer::<D::Error>::new(value)).map(Err),
+            other => Err(de::Error::custom(format!(
+                "expected Ok or Err variant, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn content_seq<E: de::Error>(c: Content) -> Result<Vec<Content>, E> {
+    match c {
+        Content::Seq(items) => Ok(items),
+        other => Err(de::Error::custom(format!(
+            "expected sequence, found {other:?}"
+        ))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_seq::<D::Error>(d.take_content()?)?
+            .into_iter()
+            .map(|c| T::deserialize(de::ContentDeserializer::<D::Error>::new(c)))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_seq::<D::Error>(d.take_content()?)?
+            .into_iter()
+            .map(|c| T::deserialize(de::ContentDeserializer::<D::Error>::new(c)))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::hash::Hash + Eq> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_seq::<D::Error>(d.take_content()?)?
+            .into_iter()
+            .map(|c| T::deserialize(de::ContentDeserializer::<D::Error>::new(c)))
+            .collect()
+    }
+}
+
+fn content_map<E: de::Error>(c: Content) -> Result<Vec<(String, Content)>, E> {
+    match c {
+        Content::Map(entries) => Ok(entries),
+        other => Err(de::Error::custom(format!("expected map, found {other:?}"))),
+    }
+}
+
+macro_rules! impl_de_map {
+    ($map:ident, $($bound:path),+) => {
+        impl<'de, K: Deserialize<'de> $(+ $bound)+, V: Deserialize<'de>> Deserialize<'de>
+            for std::collections::$map<K, V>
+        {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                content_map::<D::Error>(d.take_content()?)?
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let key = K::deserialize(de::ContentDeserializer::<D::Error>::new(
+                            Content::Str(k),
+                        ))?;
+                        let value = V::deserialize(de::ContentDeserializer::<D::Error>::new(v))?;
+                        Ok((key, value))
+                    })
+                    .collect()
+            }
+        }
+    };
+}
+impl_de_map!(BTreeMap, Ord);
+impl_de_map!(HashMap, std::hash::Hash, Eq);
+
+macro_rules! impl_de_tuple {
+    ($(($n:expr => $($name:ident),+)),+) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: de::Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                let items = content_seq::<De::Error>(d.take_content()?)?;
+                if items.len() != $n {
+                    return Err(de::Error::custom(format!(
+                        "expected {}-tuple, found {} elements", $n, items.len())));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    $name::deserialize(de::ContentDeserializer::<De::Error>::new(
+                        it.next().unwrap(),
+                    ))?,
+                )+))
+            }
+        }
+    )+};
+}
+impl_de_tuple!((2 => A, B), (3 => A, B, C), (4 => A, B, C, D));
+
+macro_rules! impl_de_fromstr {
+    ($($t:ty => $what:literal),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(d)?;
+                s.parse().map_err(|e| {
+                    de::Error::custom(format!("invalid {}: {e}", $what))
+                })
+            }
+        }
+    )*};
+}
+impl_de_fromstr!(
+    std::net::IpAddr => "IP address",
+    std::net::Ipv4Addr => "IPv4 address",
+    std::net::Ipv6Addr => "IPv6 address"
+);
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let secs = f64::deserialize(d)?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(de::Error::custom("invalid duration"));
+        }
+        Ok(std::time::Duration::from_secs_f64(secs))
+    }
+}

@@ -1,0 +1,566 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! (no `syn`/`quote`) targeting the sibling `serde` stub's JSON-shaped
+//! data model. Supports the shapes this workspace uses:
+//!
+//! - structs with named fields (externally a JSON object)
+//! - newtype structs (serialize as the inner value)
+//! - enums with unit / newtype / tuple / struct variants
+//!   (externally tagged: `"Variant"` or `{"Variant": ...}`)
+//! - `#[serde(skip)]` on named fields (omitted on serialize,
+//!   `Default::default()` on deserialize)
+//! - `#[serde(transparent)]` on single-field structs
+//!
+//! Generics are not supported; the derive panics with a clear message
+//! if it meets a shape it cannot handle.
+
+// Stand-in code mirrors upstream API shapes; keeping it clippy-clean is
+// churn with no payoff, so lints are off wholesale (see vendor/README.md).
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+        transparent: bool,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Attributes found while scanning `#[...]` groups.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    transparent: bool,
+}
+
+fn scan_serde_attr(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
+    let mut toks = group.stream().into_iter();
+    let Some(TokenTree::Ident(head)) = toks.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return;
+    };
+    for t in args.stream() {
+        if let TokenTree::Ident(i) = t {
+            match i.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "transparent" => attrs.transparent = true,
+                other => panic!("serde stub derive: unsupported #[serde({other})] attribute"),
+            }
+        }
+    }
+}
+
+/// Consume leading attributes from `iter`, returning any serde attrs seen.
+fn eat_attrs(toks: &[TokenTree], mut pos: usize) -> (usize, SerdeAttrs) {
+    let mut attrs = SerdeAttrs::default();
+    while pos + 1 < toks.len() {
+        match (&toks[pos], &toks[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                scan_serde_attr(g, &mut attrs);
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (pos, attrs)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(toks: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(i)) = toks.get(pos) {
+        if i.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Advance past a type (or discriminant expression), stopping at a
+/// top-level comma. Tracks angle-bracket depth so `Map<K, V>` commas
+/// don't terminate early.
+fn eat_until_comma(toks: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle: i32 = 0;
+    while pos < toks.len() {
+        match &toks[pos] {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if angle == 0 => return pos,
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            },
+            _ => {}
+        }
+        pos += 1;
+    }
+    pos
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        let (p, attrs) = eat_attrs(&toks, pos);
+        pos = eat_vis(&toks, p);
+        let TokenTree::Ident(name) = &toks[pos] else {
+            panic!(
+                "serde stub derive: expected field name, got {:?}",
+                toks[pos]
+            );
+        };
+        pos += 1;
+        match &toks[pos] {
+            TokenTree::Punct(c) if c.as_char() == ':' => pos += 1,
+            other => panic!("serde stub derive: expected ':', got {other:?}"),
+        }
+        pos = eat_until_comma(&toks, pos);
+        if pos < toks.len() {
+            pos += 1; // consume comma
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < toks.len() {
+        let (p, _attrs) = eat_attrs(&toks, pos);
+        pos = eat_vis(&toks, p);
+        pos = eat_until_comma(&toks, pos);
+        count += 1;
+        if pos < toks.len() {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        let (p, _attrs) = eat_attrs(&toks, pos);
+        pos = p;
+        let TokenTree::Ident(name) = &toks[pos] else {
+            panic!(
+                "serde stub derive: expected variant name, got {:?}",
+                toks[pos]
+            );
+        };
+        pos += 1;
+        let shape = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        // skip an explicit discriminant (`= expr`) and the trailing comma
+        pos = eat_until_comma(&toks, pos);
+        if pos < toks.len() {
+            pos += 1;
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (p, attrs) = eat_attrs(&toks, 0);
+    let mut pos = eat_vis(&toks, p);
+    let kind = match &toks[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match &toks[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(pu)) = toks.get(pos) {
+        if pu.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                if attrs.transparent && fields.len() != 1 {
+                    panic!("serde stub derive: transparent struct {name} must have one field");
+                }
+                Item::NamedStruct {
+                    name,
+                    fields,
+                    transparent: attrs.transparent,
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
+            }
+            other => panic!("serde stub derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde stub derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde stub derive generated invalid code: {e}\n{code}"))
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n"
+            );
+            if transparent {
+                let f = &fields[0].name;
+                let _ = write!(out, "serde::Serialize::serialize(&self.{f}, serializer)\n");
+            } else {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                let _ = write!(
+                    out,
+                    "let mut st = serde::ser::Serializer::serialize_struct(\
+                     serializer, \"{name}\", {}usize)?;\n",
+                    live.len()
+                );
+                for f in &live {
+                    let _ = write!(
+                        out,
+                        "serde::ser::SerializeStruct::serialize_field(\
+                         &mut st, \"{0}\", &self.{0})?;\n",
+                        f.name
+                    );
+                }
+                out.push_str("serde::ser::SerializeStruct::end(st)\n");
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity != 1 {
+                panic!("serde stub derive: tuple struct {name} must be a newtype");
+            }
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n\
+                 serde::Serialize::serialize(&self.0, serializer)\n}}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\nmatch self {{\n"
+            );
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} => serde::ser::Serializer::serialize_unit_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname}(__f0) => \
+                             serde::ser::Serializer::serialize_newtype_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut sv = serde::ser::Serializer::serialize_tuple_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binds = binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(
+                                out,
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut sv, {b})?;\n"
+                            );
+                        }
+                        out.push_str("serde::ser::SerializeTupleVariant::end(sv)\n},\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut sv = serde::ser::Serializer::serialize_struct_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binds = binds.join(", "),
+                            n = live.len()
+                        );
+                        for f in &live {
+                            let _ = write!(
+                                out,
+                                "serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut sv, \"{0}\", {0})?;\n",
+                                f.name
+                            );
+                        }
+                        out.push_str("serde::ser::SerializeStructVariant::end(sv)\n},\n");
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    emit(out)
+}
+
+fn field_expr(f: &Field, err_ty: &str) -> String {
+    if f.skip {
+        "std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "serde::Deserialize::deserialize(\
+             serde::de::ContentDeserializer::<{err_ty}>::new(__take(\"{}\")))?",
+            f.name
+        )
+    }
+}
+
+/// Shared prelude: bind `__fields` (the map entries) and `__take`.
+fn destructure_map(out: &mut String, what: &str) {
+    let _ = write!(
+        out,
+        "let mut __fields = match __content {{\n\
+         serde::content::Content::Map(m) => m,\n\
+         other => return Err(<D::Error as serde::de::Error>::custom(\
+         format!(\"expected map for {what}, found {{other:?}}\"))),\n\
+         }};\n\
+         let mut __take = |name: &str| -> serde::content::Content {{\n\
+         match __fields.iter().position(|(k, _)| k == name) {{\n\
+         Some(i) => __fields.remove(i).1,\n\
+         None => serde::content::Content::Null,\n\
+         }}\n\
+         }};\n"
+    );
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let _ = write!(
+                out,
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n"
+            );
+            if transparent {
+                let f = &fields[0].name;
+                let _ = write!(
+                    out,
+                    "Ok({name} {{ {f}: serde::Deserialize::deserialize(deserializer)? }})\n"
+                );
+            } else {
+                out.push_str(
+                    "let __content = serde::de::Deserializer::take_content(deserializer)?;\n",
+                );
+                destructure_map(&mut out, &name);
+                let _ = write!(out, "Ok({name} {{\n");
+                for f in &fields {
+                    let _ = write!(out, "{}: {},\n", f.name, field_expr(f, "D::Error"));
+                }
+                out.push_str("})\n");
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity != 1 {
+                panic!("serde stub derive: tuple struct {name} must be a newtype");
+            }
+            let _ = write!(
+                out,
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 Ok({name}(serde::Deserialize::deserialize(deserializer)?))\n}}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 match serde::de::Deserializer::take_content(deserializer)? {{\n\
+                 serde::content::Content::Str(__s) => match __s.as_str() {{\n"
+            );
+            for v in variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+            {
+                let _ = write!(out, "\"{0}\" => Ok({name}::{0}),\n", v.name);
+            }
+            let _ = write!(
+                out,
+                "other => Err(<D::Error as serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+                 serde::content::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __content) = __m.remove(0);\n\
+                 match __k.as_str() {{\n"
+            );
+            for v in &variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             serde::Deserialize::deserialize(\
+                             serde::de::ContentDeserializer::<D::Error>::new(__content))?)),\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "\"{vname}\" => {{\n\
+                             let __items = match __content {{\n\
+                             serde::content::Content::Seq(s) if s.len() == {n} => s,\n\
+                             other => return Err(<D::Error as serde::de::Error>::custom(\
+                             format!(\"expected {n}-element array for {name}::{vname}, \
+                             found {{other:?}}\"))),\n\
+                             }};\n\
+                             let mut __it = __items.into_iter();\n\
+                             Ok({name}::{vname}(\n"
+                        );
+                        for _ in 0..*n {
+                            out.push_str(
+                                "serde::Deserialize::deserialize(\
+                                 serde::de::ContentDeserializer::<D::Error>::new(\
+                                 __it.next().unwrap()))?,\n",
+                            );
+                        }
+                        out.push_str("))\n},\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let _ = write!(out, "\"{vname}\" => {{\n");
+                        destructure_map(&mut out, &format!("{name}::{vname}"));
+                        let _ = write!(out, "Ok({name}::{vname} {{\n");
+                        for f in fields {
+                            let _ = write!(out, "{}: {},\n", f.name, field_expr(f, "D::Error"));
+                        }
+                        out.push_str("})\n},\n");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "other => Err(<D::Error as serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}\n}},\n\
+                 other => Err(<D::Error as serde::de::Error>::custom(\
+                 format!(\"cannot deserialize {name} from {{other:?}}\"))),\n\
+                 }}\n}}\n}}\n"
+            );
+        }
+    }
+    emit(out)
+}

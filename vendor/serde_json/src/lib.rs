@@ -1,0 +1,522 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Prints and parses JSON text against the sibling `serde` stub's
+//! [`serde::content::Content`] tree. Supports the workspace's API
+//! surface: [`to_string`], [`to_string_pretty`], [`to_vec`],
+//! [`to_vec_pretty`], [`from_str`], [`from_slice`], plus a [`Value`]
+//! alias for dynamically typed JSON.
+
+// Stand-in code mirrors upstream API shapes; keeping it clippy-clean is
+// churn with no payoff, so lints are off wholesale (see vendor/README.md).
+#![allow(clippy::all)]
+
+use serde::content::Content;
+use serde::de::ContentDeserializer;
+use serde::ser::to_content;
+use std::fmt;
+
+/// Dynamically typed JSON value (alias of the serde stub's content tree).
+pub type Value = Content;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        // serde_json errors on non-finite floats; emitting null keeps
+        // telemetry exports robust instead
+        out.push_str("null");
+    }
+}
+
+fn write_compact(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, c: &Content, indent: usize) {
+    const PAD: &str = "  ";
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error {
+            msg: format!("{msg} at byte {}", self.pos),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_lit("null", Content::Null),
+            Some(b't') => self.parse_lit("true", Content::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => self.err("unexpected character"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Content) -> Result<Content> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("invalid literal, expected {lit}"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex =
+                                self.bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error {
+                                        msg: "truncated \\u escape".into(),
+                                    })?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error {
+                                    msg: "invalid \\u escape".into(),
+                                })?,
+                                16,
+                            )
+                            .map_err(|_| Error {
+                                msg: "invalid \\u escape".into(),
+                            })?;
+                            self.pos += 4;
+                            // surrogate pairs
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let hex2 = self
+                                        .bytes
+                                        .get(self.pos + 2..self.pos + 6)
+                                        .ok_or_else(|| Error {
+                                            msg: "truncated surrogate".into(),
+                                        })?;
+                                    let low = u32::from_str_radix(
+                                        std::str::from_utf8(hex2).map_err(|_| Error {
+                                            msg: "invalid surrogate".into(),
+                                        })?,
+                                        16,
+                                    )
+                                    .map_err(|_| Error {
+                                        msg: "invalid surrogate".into(),
+                                    })?;
+                                    self.pos += 6;
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return self.err("lone surrogate");
+                                }
+                            } else {
+                                code
+                            };
+                            out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // multi-byte UTF-8: find the full char in the source
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..]).map_err(|_| Error {
+                        msg: "invalid UTF-8 in string".into(),
+                    })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error {
+            msg: "invalid number".into(),
+        })?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>().map(Content::F64).map_err(|_| Error {
+            msg: format!("invalid number '{text}'"),
+        })
+    }
+
+    fn parse_array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a [`Value`] from JSON text.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content::<T, Error>(value)?;
+    let mut out = String::new();
+    write_compact(&mut out, &content);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content::<T, Error>(value)?;
+    let mut out = String::new();
+    write_pretty(&mut out, &content, 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let content = parse_value(s)?;
+    T::deserialize(ContentDeserializer::<Error>::new(content))
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(bytes: &'a [u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error {
+        msg: format!("input is not UTF-8: {e}"),
+    })?;
+    from_str(s)
+}
+
+/// Serialize any value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    to_content::<T, Error>(value)
+}
+
+/// Deserialize a typed value out of a [`Value`] tree.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: Value) -> Result<T> {
+    T::deserialize(ContentDeserializer::<Error>::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&1u32).unwrap(), "1");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"a\\u0041b\"").unwrap(), "aAb");
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let v = vec![1u32, 2, 3];
+        let js = to_string(&v).unwrap();
+        assert_eq!(js, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&js).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let js = to_string(&m).unwrap();
+        assert_eq!(js, "{\"a\":1,\"b\":2}");
+        let back: std::collections::BTreeMap<String, u64> = from_str(&js).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn numeric_map_keys_stringify() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(10u32, "x".to_string());
+        let js = to_string(&m).unwrap();
+        assert_eq!(js, "{\"10\":\"x\"}");
+        let back: std::collections::BTreeMap<u32, String> = from_str(&js).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn options_and_floats() {
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(5u8)).unwrap(), "5");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u8>>("7").unwrap(), Some(7));
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("-2.25e2").unwrap(), -225.0);
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let js = to_string_pretty(&v).unwrap();
+        let back: Vec<(u32, String)> = from_str(&js).unwrap();
+        assert_eq!(back, v);
+    }
+}
