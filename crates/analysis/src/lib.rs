@@ -23,6 +23,7 @@
 //! | Tables 3 & 4 (stability) | [`tables::StabilityRow`] |
 //! | §5.4 cross-IXP target overlap | [`overlap::target_overlap`] |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actions;

@@ -11,9 +11,13 @@
 //! `--json FILE`, the complete evaluation ([`analysis::summary`]) is
 //! written as one JSON document.
 //!
-//! Experiments: `table1 fig1 fig2 fig3 fig4a fig4b fig4c table2
-//! type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation`
-//! or `all` (default).
+//! Experiments: `check table1 fig1 fig2 fig3 fig4a fig4b fig4c table2
+//! type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation
+//! overlap` or `all` (default). `check` is a pre-flight: it runs the
+//! `staticheck` policy verifier over every configured IXP scheme before
+//! the world is built, and error-grade findings abort the whole run —
+//! there is no point simulating a configuration the verifier can
+//! already prove broken.
 
 use bgp_model::prefix::Afi;
 use community_dict::action::ActionGroup;
@@ -92,7 +96,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "repro [--scale F] [--seed N] [--all-ixps] [--csv DIR] [--json FILE] [EXPERIMENT...]\n\
-                     experiments: table1 fig1 fig2 fig3 fig4a fig4b fig4c table2 \
+                     experiments: check table1 fig1 fig2 fig3 fig4a fig4b fig4c table2 \
                      type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation overlap all"
                 );
                 return;
@@ -102,6 +106,7 @@ fn main() {
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = [
+            "check",
             "table1",
             "fig1",
             "fig2",
@@ -129,6 +134,23 @@ fn main() {
     registry.enable_events(4096);
     let baseline = registry.snapshot();
 
+    // `check` is a pre-flight, not a table: run it before anything is
+    // built, and refuse to spend time on a provably broken policy.
+    if let Some(pos) = experiments.iter().position(|e| e == "check") {
+        experiments.remove(pos);
+        let clean = {
+            let _stage = registry.histogram(obs::names::REPRO_CHECK).start();
+            run_check(&ixps)
+        };
+        if !clean {
+            eprintln!(
+                "check: error-grade policy findings — fix the scheme or waive the \
+                 finding in staticheck.toml before reproducing results"
+            );
+            std::process::exit(1);
+        }
+    }
+
     let needs_world = experiments
         .iter()
         .any(|e| !matches!(e.as_str(), "table3" | "table4" | "sanitation"));
@@ -139,7 +161,7 @@ fn main() {
             ixps.len()
         );
         let (store, dicts) = {
-            let _stage = registry.histogram("repro.build_world").start();
+            let _stage = registry.histogram(obs::names::REPRO_BUILD_WORLD).start();
             standard_scenario(seed, scale, &ixps)
         };
         Ctx {
@@ -175,7 +197,7 @@ fn main() {
     }
 
     for e in &experiments {
-        let _stage = registry.histogram(&format!("repro.{e}")).start();
+        let _stage = registry.histogram(&obs::names::repro_stage(e)).start();
         match e.as_str() {
             "table1" => run_table1(&ctx),
             "fig1" => run_fig1(&ctx),
@@ -214,6 +236,41 @@ fn main() {
         Ok(()) => eprintln!("telemetry: wrote {}", telemetry_path.display()),
         Err(e) => eprintln!("telemetry: cannot write {}: {e}", telemetry_path.display()),
     }
+}
+
+/// Pre-flight: statically verify every configured IXP's route-server
+/// config + dictionary with `staticheck` before building any world.
+/// Returns false when any IXP has an error-grade finding.
+fn run_check(ixps: &[IxpId]) -> bool {
+    let mut t = TextTable::new(
+        "pre-flight — static policy verification (staticheck)",
+        &["IXP", "Errors", "Warnings", "Status"],
+    );
+    let mut clean = true;
+    for ixp in ixps {
+        let config = route_server::config::RsConfig::for_ixp(*ixp);
+        let dict = community_dict::schemes::dictionary(*ixp);
+        let diags = staticheck::policy::verify(&config, &dict, None);
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == staticheck::Severity::Error)
+            .count();
+        for d in diags
+            .iter()
+            .filter(|d| d.severity == staticheck::Severity::Error)
+        {
+            eprintln!("check: {} {d}", ixp.short_name());
+        }
+        clean &= errors == 0;
+        t.row([
+            ixp.short_name().to_string(),
+            errors.to_string(),
+            (diags.len() - errors).to_string(),
+            if errors == 0 { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    clean
 }
 
 fn run_table1(ctx: &Ctx) {

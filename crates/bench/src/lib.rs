@@ -2,6 +2,8 @@
 //! world once, collect snapshots, and hold the paper's published numbers
 //! for side-by-side comparison.
 
+#![forbid(unsafe_code)]
+
 use bgp_model::prefix::Afi;
 use community_dict::dictionary::Dictionary;
 use community_dict::ixp::IxpId;

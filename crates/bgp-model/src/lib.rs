@@ -24,6 +24,7 @@
 //! assert_eq!(route.community_count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asn;

@@ -108,6 +108,30 @@ impl Prefix {
         })
     }
 
+    /// Create a prefix, clamping an over-long mask to the AFI maximum
+    /// instead of failing. Infallible — for callers that compute the
+    /// length and want saturation semantics.
+    pub fn new_clamped(addr: IpAddr, len: u8) -> Self {
+        let max = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        let len = len.min(max);
+        Prefix {
+            addr: mask_addr(addr, len),
+            len,
+        }
+    }
+
+    /// The host route for an address (`/32` or `/128`). Infallible.
+    pub fn host(addr: IpAddr) -> Self {
+        let len = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        Prefix { addr, len }
+    }
+
     /// Create an IPv4 prefix from octets.
     pub fn v4(a: u8, b: u8, c: u8, d: u8, len: u8) -> Result<Self, PrefixError> {
         Prefix::new(IpAddr::V4(Ipv4Addr::new(a, b, c, d)), len)
@@ -332,6 +356,23 @@ mod tests {
     fn rejects_out_of_range_length() {
         assert!(Prefix::v4(1, 2, 3, 4, 33).is_err());
         assert!("2001:db8::/129".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn host_routes_use_full_mask() {
+        let v4 = Prefix::host("192.0.2.1".parse().unwrap());
+        assert_eq!(v4.to_string(), "192.0.2.1/32");
+        let v6 = Prefix::host("2001:db8::1".parse().unwrap());
+        assert_eq!(v6.to_string(), "2001:db8::1/128");
+    }
+
+    #[test]
+    fn clamped_saturates_and_canonicalizes() {
+        let p = Prefix::new_clamped("192.0.2.77".parse().unwrap(), 64);
+        assert_eq!(p.to_string(), "192.0.2.77/32");
+        let q = Prefix::new_clamped("10.1.2.3".parse().unwrap(), 8);
+        assert_eq!(q.to_string(), "10.0.0.0/8");
+        assert_eq!(q, Prefix::new("10.0.0.0".parse().unwrap(), 8).unwrap());
     }
 
     #[test]

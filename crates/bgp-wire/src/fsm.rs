@@ -263,14 +263,18 @@ impl Fsm {
                     Err(_) => unreachable!("keepalive always encodes"),
                 }
             }
-            (State::OpenConfirm, Message::Keepalive) => {
-                self.state = State::Established;
-                vec![Action::SessionUp(
-                    self.peer_open
-                        .clone()
-                        .expect("peer_open set before OpenConfirm"),
-                )]
-            }
+            (State::OpenConfirm, Message::Keepalive) => match self.peer_open.clone() {
+                Some(open) => {
+                    self.state = State::Established;
+                    vec![Action::SessionUp(open)]
+                }
+                // OpenConfirm without a stored OPEN is an FSM error, not
+                // a programming invariant worth panicking over
+                None => self.shutdown(
+                    DownReason::LocalNotification(NotificationCode::FiniteStateMachine),
+                    Some(0),
+                ),
+            },
             (State::Established, Message::Update(update)) => {
                 vec![Action::DeliverUpdate(update)]
             }
@@ -312,9 +316,10 @@ impl Fsm {
         let keepalive_ms = self.negotiated_hold_ms / 3;
         if now_ms.saturating_sub(self.last_tx_ms) >= keepalive_ms {
             self.last_tx_ms = now_ms;
-            return vec![Action::Send(
-                Message::Keepalive.encode().expect("keepalive encodes"),
-            )];
+            return match Message::Keepalive.encode() {
+                Ok(b) => vec![Action::Send(b)],
+                Err(_) => unreachable!("keepalive always encodes"),
+            };
         }
         vec![]
     }

@@ -35,6 +35,7 @@
 //! assert_eq!(update_to_routes(&decoded).unwrap().announced, vec![route]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attrs;

@@ -6,7 +6,7 @@
 
 use std::sync::OnceLock;
 
-use obs::Counter;
+use obs::{names, Counter};
 
 pub(crate) struct WireMetrics {
     /// Complete messages encoded to wire bytes.
@@ -30,13 +30,13 @@ pub(crate) fn handles() -> &'static WireMetrics {
     HANDLES.get_or_init(|| {
         let registry = obs::global();
         WireMetrics {
-            msgs_encoded: registry.counter("wire.msgs_encoded"),
-            bytes_encoded: registry.counter("wire.bytes_encoded"),
-            msgs_decoded: registry.counter("wire.msgs_decoded"),
-            bytes_decoded: registry.counter("wire.bytes_decoded"),
-            decode_errors: registry.counter("wire.decode_errors"),
-            mrt_entries_encoded: registry.counter("wire.mrt_entries_encoded"),
-            mrt_entries_decoded: registry.counter("wire.mrt_entries_decoded"),
+            msgs_encoded: registry.counter(names::WIRE_MSGS_ENCODED),
+            bytes_encoded: registry.counter(names::WIRE_BYTES_ENCODED),
+            msgs_decoded: registry.counter(names::WIRE_MSGS_DECODED),
+            bytes_decoded: registry.counter(names::WIRE_BYTES_DECODED),
+            decode_errors: registry.counter(names::WIRE_DECODE_ERRORS),
+            mrt_entries_encoded: registry.counter(names::WIRE_MRT_ENTRIES_ENCODED),
+            mrt_entries_decoded: registry.counter(names::WIRE_MRT_ENTRIES_DECODED),
         }
     })
 }

@@ -25,6 +25,7 @@
 //! assert_eq!(action, Action::avoid(Asn(6939)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod action;

@@ -247,7 +247,9 @@ pub fn scheme_entries(ixp: IxpId) -> Vec<DictionaryEntry> {
     ));
     if ixp == IxpId::AmsIx {
         for n in 1u8..=3 {
-            let c = prepend_all_community(ixp, n).unwrap();
+            let Some(c) = prepend_all_community(ixp, n) else {
+                continue;
+            };
             entries.push(action_entry(
                 Pattern::Exact(c),
                 Action::new(ActionKind::PrependTo(n), Target::AllPeers),

@@ -18,6 +18,7 @@
 //! assert!(world.rs.stats().ineffective_action_instances > 0); // §5.5
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibration;

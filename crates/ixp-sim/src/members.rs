@@ -110,7 +110,8 @@ pub fn generate_members(
         let asn = if i % 4 == 3 {
             Asn(263_000 + i as u32)
         } else {
-            s16.next().expect("enough synthetic ASNs")
+            // fall back to the 4-byte range if the 16-bit pool runs dry
+            s16.next().unwrap_or(Asn(263_000 + i as u32))
         };
         let category = match i % 20 {
             0 => Category::Educational,

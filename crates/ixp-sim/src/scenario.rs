@@ -50,20 +50,20 @@ pub struct Scenario {
 /// Looking Glass pipeline.
 pub fn run(config: &ScenarioConfig) -> Scenario {
     let registry = obs::global();
-    let _scenario_span = obs::span!("sim.scenario");
-    registry.gauge("sim.day").set(config.day as i64);
+    let _scenario_span = obs::span!(obs::names::SIM_SCENARIO);
+    registry.gauge(obs::names::SIM_DAY).set(config.day as i64);
     let worlds = {
-        let _span = obs::span!("sim.build_world");
+        let _span = obs::span!(obs::names::SIM_BUILD_WORLD);
         build_world(&config.ixps, &config.world)
     };
     let mut store = SnapshotStore::new();
     let collector = Collector::new(CollectorConfig::default());
-    let snapshots_collected = registry.counter("sim.snapshots_collected");
-    let collections_failed = registry.counter("sim.collections_failed");
+    let snapshots_collected = registry.counter(obs::names::SIM_SNAPSHOTS_COLLECTED);
+    let collections_failed = registry.counter(obs::names::SIM_COLLECTIONS_FAILED);
     let mut out = Vec::with_capacity(worlds.len());
     for world in worlds {
         let ixp = world.ixp;
-        let _ixp_span = obs::span!("sim.collect_ixp");
+        let _ixp_span = obs::span!(obs::names::SIM_COLLECT_IXP);
         let rs = Arc::new(RwLock::new(world.rs.clone()));
         let lg = Arc::new(LgServer::new(
             Arc::clone(&rs),

@@ -206,10 +206,10 @@ pub fn generate_series(ixp: IxpId, afi: Afi, config: &TimelineConfig) -> Series 
     let mut rng =
         StdRng::seed_from_u64(config.seed ^ ((ixp as u64) << 8) ^ ((afi as u64) << 4) ^ 0xA5A5);
     let registry = obs::global();
-    let _span = obs::span!("sim.generate_series");
-    let day_gauge = registry.gauge("sim.timeline_day");
-    let points_counter = registry.counter("sim.series_points");
-    let outage_counter = registry.counter("sim.outage_days");
+    let _span = obs::span!(obs::names::SIM_GENERATE_SERIES);
+    let day_gauge = registry.gauge(obs::names::SIM_TIMELINE_DAY);
+    let points_counter = registry.counter(obs::names::SIM_SERIES_POINTS);
+    let outage_counter = registry.counter(obs::names::SIM_OUTAGE_DAYS);
     let mut points = Vec::with_capacity(config.days as usize);
     let mut injected = Vec::new();
     let horizon = (config.days.saturating_sub(1)).max(1) as f64;

@@ -45,8 +45,7 @@ impl PrefixAllocator {
                 let a = 11 + (i >> 16) as u8;
                 let b = (i >> 8) as u8;
                 let c = i as u8;
-                let p = Prefix::new(IpAddr::V4(Ipv4Addr::new(a, b, c, 0)), 24)
-                    .expect("valid synthetic v4 prefix");
+                let p = Prefix::new_clamped(IpAddr::V4(Ipv4Addr::new(a, b, c, 0)), 24);
                 self.allocated_v4.push(p);
                 p
             }
@@ -55,8 +54,10 @@ impl PrefixAllocator {
                 self.next_v6 += 1;
                 let hi = (i >> 16) as u16;
                 let lo = i as u16;
-                let p = Prefix::new(IpAddr::V6(Ipv6Addr::new(0x2a10, hi, lo, 0, 0, 0, 0, 0)), 48)
-                    .expect("valid synthetic v6 prefix");
+                let p = Prefix::new_clamped(
+                    IpAddr::V6(Ipv6Addr::new(0x2a10, hi, lo, 0, 0, 0, 0, 0)),
+                    48,
+                );
                 self.allocated_v6.push(p);
                 p
             }
@@ -111,7 +112,7 @@ impl Default for WorldConfig {
 /// Build one IXP world: generate members, synthesize their announcements
 /// and run them through the route server.
 pub fn build_ixp(ixp: IxpId, config: &WorldConfig) -> IxpWorld {
-    let _span = obs::span!("sim.build_ixp");
+    let _span = obs::span!(obs::names::SIM_BUILD_IXP);
     let mut rng = StdRng::seed_from_u64(config.seed ^ (ixp as u64).wrapping_mul(0x9E37_79B9));
     let prof = profile(ixp);
     let cal = calibration(ixp);
@@ -161,26 +162,20 @@ pub fn build_ixp(ixp: IxpId, config: &WorldConfig) -> IxpWorld {
         // blackhole host routes ride alongside regular announcements
         for k in 0..m.behavior.blackhole_count {
             let victim = Ipv4Addr::new(185, 1, (mi / 250) as u8, (200 + k) as u8);
-            let route = Route::builder(
-                Prefix::new(IpAddr::V4(victim), 32).expect("host route"),
-                next_hop_v4,
-            )
-            .path([m.asn.value()])
-            .origin(Origin::Igp)
-            .standard(well_known::BLACKHOLE)
-            .build();
+            let route = Route::builder(Prefix::host(IpAddr::V4(victim)), next_hop_v4)
+                .path([m.asn.value()])
+                .origin(Origin::Igp)
+                .standard(well_known::BLACKHOLE)
+                .build();
             rs.announce(m.asn, route);
         }
         if m.behavior.blackhole_v6 && m.v6 {
             let victim = Ipv6Addr::new(0x2a10, 0xffff, mi as u16, 0, 0, 0, 0, 0x666);
-            let route = Route::builder(
-                Prefix::new(IpAddr::V6(victim), 128).expect("host route"),
-                next_hop_v6,
-            )
-            .path([m.asn.value()])
-            .origin(Origin::Igp)
-            .standard(well_known::BLACKHOLE)
-            .build();
+            let route = Route::builder(Prefix::host(IpAddr::V6(victim)), next_hop_v6)
+                .path([m.asn.value()])
+                .origin(Origin::Igp)
+                .standard(well_known::BLACKHOLE)
+                .build();
             rs.announce(m.asn, route);
         }
     }

@@ -88,7 +88,9 @@ pub fn export(
     };
     for snap in store.iter() {
         let (mrt_path, json_path) = snapshot_paths(root, snap.ixp, snap.afi, snap.day);
-        fs::create_dir_all(mrt_path.parent().expect("has parent"))?;
+        if let Some(parent) = mrt_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
         let mrt = snap
             .to_mrt()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;

@@ -33,6 +33,7 @@
 //! assert_eq!(report.snapshot.route_count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;

@@ -4,7 +4,7 @@
 
 use std::sync::OnceLock;
 
-use obs::{Counter, Histogram};
+use obs::{names, Counter, Histogram};
 
 pub(crate) struct LgMetrics {
     // server side
@@ -36,16 +36,16 @@ pub(crate) fn handles() -> &'static LgMetrics {
     HANDLES.get_or_init(|| {
         let registry = obs::global();
         LgMetrics {
-            requests: registry.counter("lg.requests"),
-            rate_limited: registry.counter("lg.rate_limited"),
-            failures_injected: registry.counter("lg.failures_injected"),
-            pages_truncated: registry.counter("lg.pages_truncated"),
-            handle_ns: registry.histogram("lg.handle"),
-            client_requests: registry.counter("lg.client.requests"),
-            client_retries: registry.counter("lg.client.retries"),
-            snapshots_complete: registry.counter("lg.client.snapshots_complete"),
-            snapshots_partial: registry.counter("lg.client.snapshots_partial"),
-            collect_ms: registry.histogram("lg.client.collect_ms"),
+            requests: registry.counter(names::LG_REQUESTS),
+            rate_limited: registry.counter(names::LG_RATE_LIMITED),
+            failures_injected: registry.counter(names::LG_FAILURES_INJECTED),
+            pages_truncated: registry.counter(names::LG_PAGES_TRUNCATED),
+            handle_ns: registry.histogram(names::LG_HANDLE),
+            client_requests: registry.counter(names::LG_CLIENT_REQUESTS),
+            client_retries: registry.counter(names::LG_CLIENT_RETRIES),
+            snapshots_complete: registry.counter(names::LG_CLIENT_SNAPSHOTS_COMPLETE),
+            snapshots_partial: registry.counter(names::LG_CLIENT_SNAPSHOTS_PARTIAL),
+            collect_ms: registry.histogram(names::LG_CLIENT_COLLECT_MS),
         }
     })
 }

@@ -65,7 +65,10 @@
 //! there unless handed an explicit registry (e.g. `RouteServer::with_registry`
 //! for isolated tests and benchmarks).
 
+#![forbid(unsafe_code)]
+
 mod metrics;
+pub mod names;
 mod report;
 mod snapshot;
 mod span;

@@ -1,0 +1,222 @@
+//! The central registry of every metric and span name in the workspace.
+//!
+//! Instrument names are part of the telemetry contract: dashboards, the
+//! `telemetry.json` report and `tests/obs_regression.rs` all key on them.
+//! Scattering string literals across crates made renames silently break
+//! that contract, so every name lives here as a constant and call sites
+//! mint handles through these constants only. The `staticheck` workspace
+//! linter (diagnostic `SC103`) rejects any string literal passed directly
+//! to [`Registry::counter`](crate::Registry::counter) /
+//! [`gauge`](crate::Registry::gauge) / [`histogram`](crate::Registry::histogram)
+//! / [`span`](crate::Registry::span) outside this crate.
+//!
+//! Naming convention: `<subsystem>.<noun>[.<qualifier>]`, lowercase with
+//! underscores inside segments (`rs.routes_filtered.bogon_prefix`). The
+//! [`ALL`] index lists every static name; dynamic families (per-reason
+//! filter counters, per-experiment repro stages) are derived through the
+//! helper functions below so their prefixes stay registered.
+
+// --- bgp-wire: codec hot paths ---
+
+/// Complete messages encoded to wire bytes.
+pub const WIRE_MSGS_ENCODED: &str = "wire.msgs_encoded";
+/// Wire bytes produced by encoding (headers included).
+pub const WIRE_BYTES_ENCODED: &str = "wire.bytes_encoded";
+/// Complete messages decoded from wire bytes.
+pub const WIRE_MSGS_DECODED: &str = "wire.msgs_decoded";
+/// Wire bytes consumed by successful decodes.
+pub const WIRE_BYTES_DECODED: &str = "wire.bytes_decoded";
+/// Decode attempts that failed with a `WireError`.
+pub const WIRE_DECODE_ERRORS: &str = "wire.decode_errors";
+/// RIB entries written into MRT-style snapshots.
+pub const WIRE_MRT_ENTRIES_ENCODED: &str = "wire.mrt_entries_encoded";
+/// RIB entries read back out of MRT-style snapshots.
+pub const WIRE_MRT_ENTRIES_DECODED: &str = "wire.mrt_entries_decoded";
+
+// --- route-server ---
+
+/// UPDATE messages ingested.
+pub const RS_UPDATES_PROCESSED: &str = "rs.updates_processed";
+/// Routes accepted by the import filters.
+pub const RS_ROUTES_ACCEPTED: &str = "rs.routes_accepted";
+/// Routes withdrawn.
+pub const RS_ROUTES_WITHDRAWN: &str = "rs.routes_withdrawn";
+/// Routes rejected on import (total across reasons).
+pub const RS_ROUTES_FILTERED: &str = "rs.routes_filtered";
+/// Action community instances digested on accepted routes.
+pub const RS_ACTION_INSTANCES: &str = "rs.action_instances";
+/// Action instances whose single-AS target has a session at the RS.
+pub const RS_EFFECTIVE_ACTION_INSTANCES: &str = "rs.effective_action_instances";
+/// Action instances whose single-AS target is NOT at the RS (§5.5).
+pub const RS_INEFFECTIVE_ACTION_INSTANCES: &str = "rs.ineffective_action_instances";
+/// Per-(route, peer) export policy evaluations performed.
+pub const RS_EXPORT_EVALUATIONS: &str = "rs.export_evaluations";
+/// Communities removed by scrubbing on export.
+pub const RS_SCRUBBED_COMMUNITIES: &str = "rs.scrubbed_communities";
+/// Member sessions currently registered.
+pub const RS_MEMBERS: &str = "rs.members";
+/// Ingest latency histogram / span.
+pub const RS_INGEST_UPDATE: &str = "rs.ingest_update";
+
+/// Per-reason filtered-route counter: `rs.routes_filtered.<slug>`.
+pub fn rs_routes_filtered_reason(slug: &str) -> String {
+    format!("{RS_ROUTES_FILTERED}.{slug}")
+}
+
+// --- looking-glass ---
+
+/// Requests handled by the LG server (any outcome).
+pub const LG_REQUESTS: &str = "lg.requests";
+/// Requests rejected by the token-bucket rate limiter.
+pub const LG_RATE_LIMITED: &str = "lg.rate_limited";
+/// Requests failed by the injected failure model.
+pub const LG_FAILURES_INJECTED: &str = "lg.failures_injected";
+/// Routes pages silently truncated by the failure model.
+pub const LG_PAGES_TRUNCATED: &str = "lg.pages_truncated";
+/// Wall-clock time to serve one request, nanoseconds.
+pub const LG_HANDLE: &str = "lg.handle";
+/// Requests issued by the collector (including retries).
+pub const LG_CLIENT_REQUESTS: &str = "lg.client.requests";
+/// Transient request failures absorbed by retrying.
+pub const LG_CLIENT_RETRIES: &str = "lg.client.retries";
+/// Collections that completed with every peer present.
+pub const LG_CLIENT_SNAPSHOTS_COMPLETE: &str = "lg.client.snapshots_complete";
+/// Collections that completed missing at least one peer.
+pub const LG_CLIENT_SNAPSHOTS_PARTIAL: &str = "lg.client.snapshots_partial";
+/// Simulated duration of one collection run, milliseconds.
+pub const LG_CLIENT_COLLECT_MS: &str = "lg.client.collect_ms";
+
+// --- ixp-sim ---
+
+/// Span: build one IXP world.
+pub const SIM_BUILD_IXP: &str = "sim.build_ixp";
+/// Span: build all worlds for a scenario.
+pub const SIM_BUILD_WORLD: &str = "sim.build_world";
+/// Span: run one scenario end to end.
+pub const SIM_SCENARIO: &str = "sim.scenario";
+/// Span: collect one IXP's snapshots within a scenario.
+pub const SIM_COLLECT_IXP: &str = "sim.collect_ixp";
+/// Span: generate a full timeline series.
+pub const SIM_GENERATE_SERIES: &str = "sim.generate_series";
+/// Gauge: the scenario's collection day.
+pub const SIM_DAY: &str = "sim.day";
+/// Gauge: the day currently being generated in a timeline.
+pub const SIM_TIMELINE_DAY: &str = "sim.timeline_day";
+/// Timeline data points generated.
+pub const SIM_SERIES_POINTS: &str = "sim.series_points";
+/// Timeline days skipped by simulated collection outages.
+pub const SIM_OUTAGE_DAYS: &str = "sim.outage_days";
+/// Snapshots collected by scenario runs.
+pub const SIM_SNAPSHOTS_COLLECTED: &str = "sim.snapshots_collected";
+/// Collection attempts that failed entirely.
+pub const SIM_COLLECTIONS_FAILED: &str = "sim.collections_failed";
+
+// --- repro binary ---
+
+/// Span: build the world inside `repro`.
+pub const REPRO_BUILD_WORLD: &str = "repro.build_world";
+/// Span: the `repro` static pre-flight check.
+pub const REPRO_CHECK: &str = "repro.check";
+
+/// Per-experiment repro stage histogram: `repro.<experiment>`.
+pub fn repro_stage(experiment: &str) -> String {
+    format!("repro.{experiment}")
+}
+
+/// Every statically-named instrument, for exhaustiveness checks.
+pub const ALL: &[&str] = &[
+    WIRE_MSGS_ENCODED,
+    WIRE_BYTES_ENCODED,
+    WIRE_MSGS_DECODED,
+    WIRE_BYTES_DECODED,
+    WIRE_DECODE_ERRORS,
+    WIRE_MRT_ENTRIES_ENCODED,
+    WIRE_MRT_ENTRIES_DECODED,
+    RS_UPDATES_PROCESSED,
+    RS_ROUTES_ACCEPTED,
+    RS_ROUTES_WITHDRAWN,
+    RS_ROUTES_FILTERED,
+    RS_ACTION_INSTANCES,
+    RS_EFFECTIVE_ACTION_INSTANCES,
+    RS_INEFFECTIVE_ACTION_INSTANCES,
+    RS_EXPORT_EVALUATIONS,
+    RS_SCRUBBED_COMMUNITIES,
+    RS_MEMBERS,
+    RS_INGEST_UPDATE,
+    LG_REQUESTS,
+    LG_RATE_LIMITED,
+    LG_FAILURES_INJECTED,
+    LG_PAGES_TRUNCATED,
+    LG_HANDLE,
+    LG_CLIENT_REQUESTS,
+    LG_CLIENT_RETRIES,
+    LG_CLIENT_SNAPSHOTS_COMPLETE,
+    LG_CLIENT_SNAPSHOTS_PARTIAL,
+    LG_CLIENT_COLLECT_MS,
+    SIM_BUILD_IXP,
+    SIM_BUILD_WORLD,
+    SIM_SCENARIO,
+    SIM_COLLECT_IXP,
+    SIM_GENERATE_SERIES,
+    SIM_DAY,
+    SIM_TIMELINE_DAY,
+    SIM_SERIES_POINTS,
+    SIM_OUTAGE_DAYS,
+    SIM_SNAPSHOTS_COLLECTED,
+    SIM_COLLECTIONS_FAILED,
+    REPRO_BUILD_WORLD,
+    REPRO_CHECK,
+];
+
+/// Dynamic name-family prefixes (everything minted at runtime starts with
+/// one of these followed by a `.`-separated suffix).
+pub const DYNAMIC_PREFIXES: &[&str] = &[RS_ROUTES_FILTERED, "repro"];
+
+/// True when `name` is registered: either a static [`ALL`] entry or an
+/// extension of a [`DYNAMIC_PREFIXES`] family.
+pub fn is_registered(name: &str) -> bool {
+    ALL.contains(&name)
+        || DYNAMIC_PREFIXES.iter().any(|p| {
+            name.len() > p.len() + 1 && name.starts_with(p) && name.as_bytes()[p.len()] == b'.'
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique() {
+        let mut names = ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn all_names_follow_convention() {
+        for name in ALL {
+            assert!(
+                name.split('.').count() >= 2
+                    && name.chars().all(|c| c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || c == '.'
+                        || c == '_'),
+                "bad metric name {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_families_register() {
+        assert!(is_registered(RS_INGEST_UPDATE));
+        assert!(is_registered(&rs_routes_filtered_reason("bogon_prefix")));
+        assert!(is_registered(&repro_stage("fig4a")));
+        // the aggregate itself is a static name...
+        assert!(is_registered("rs.routes_filtered"));
+        // ...but a bare dynamic prefix or an unknown family is not
+        assert!(!is_registered("repro"));
+        assert!(!is_registered("repro."));
+        assert!(!is_registered("made.up"));
+    }
+}

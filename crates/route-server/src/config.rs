@@ -1,10 +1,12 @@
 //! Route-server configuration.
 
-use std::net::IpAddr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use serde::{Deserialize, Serialize};
 
 use community_dict::ixp::IxpId;
+
+use crate::rules::ImportRule;
 
 /// What the RS scrubs from a route before exporting it to peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +48,10 @@ pub struct RsConfig {
     /// Per-peer prefix limit per family, if enforced (real route servers
     /// derive per-member limits from PeeringDB; we model one global cap).
     pub max_prefixes_per_peer: Option<usize>,
+    /// Ordered declarative import rules, evaluated first-match-wins after
+    /// the built-in filters (see [`crate::rules`]). Empty by default.
+    #[serde(default)]
+    pub import_rules: Vec<ImportRule>,
 }
 
 impl RsConfig {
@@ -61,9 +67,12 @@ impl RsConfig {
             info_tags: 2,
             scrub: ScrubPolicy::ActionsOnly,
             blackhole_enabled: community_dict::schemes::supports_blackhole(ixp),
-            blackhole_next_hop_v4: "198.18.255.1".parse().expect("static addr"),
-            blackhole_next_hop_v6: "2001:db8:ffff::666".parse().expect("static addr"),
+            blackhole_next_hop_v4: IpAddr::V4(Ipv4Addr::new(198, 18, 255, 1)),
+            blackhole_next_hop_v6: IpAddr::V6(Ipv6Addr::new(
+                0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 0x666,
+            )),
             max_prefixes_per_peer: None,
+            import_rules: Vec::new(),
         }
     }
 
@@ -88,6 +97,12 @@ impl RsConfig {
     /// Builder-style override of scrub policy.
     pub fn with_scrub(mut self, scrub: ScrubPolicy) -> Self {
         self.scrub = scrub;
+        self
+    }
+
+    /// Builder-style override of the declarative import rules.
+    pub fn with_import_rules(mut self, rules: Vec<ImportRule>) -> Self {
+        self.import_rules = rules;
         self
     }
 }

@@ -40,6 +40,9 @@ pub enum FilterReason {
     /// operational practice; modeled as drop-excess rather than session
     /// teardown).
     PrefixLimitExceeded,
+    /// Rejected by a declarative [`ImportRule`](crate::rules::ImportRule)
+    /// in the RS configuration.
+    PolicyRule,
 }
 
 impl fmt::Display for FilterReason {
@@ -55,6 +58,7 @@ impl fmt::Display for FilterReason {
             FilterReason::TooManyCommunities => "too many communities",
             FilterReason::BlackholeUnsupported => "blackhole not supported",
             FilterReason::PrefixLimitExceeded => "prefix limit exceeded",
+            FilterReason::PolicyRule => "rejected by policy rule",
         };
         f.write_str(s)
     }

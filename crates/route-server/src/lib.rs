@@ -31,12 +31,14 @@
 //! assert!(rs.export_to(Asn(6939)).is_empty()); // action executed
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod filter;
 pub mod metrics;
 pub mod policy;
+pub mod rules;
 pub mod server;
 pub mod stats;
 
@@ -45,6 +47,7 @@ pub mod prelude {
     pub use crate::config::{RsConfig, ScrubPolicy};
     pub use crate::filter::{check_import, FilterReason};
     pub use crate::policy::{ExportDecision, RoutePolicy};
+    pub use crate::rules::{ImportRule, RuleAction, RuleMatch};
     pub use crate::server::{FilteredRoute, IngestOutcome, Member, RouteServer};
     pub use crate::stats::RsStats;
 }

@@ -8,7 +8,7 @@
 //! snapshot. `tests/obs_regression.rs` in the workspace root asserts the two
 //! bookkeeping paths agree on an identical scenario.
 
-use obs::{Counter, Gauge, Histogram, Registry};
+use obs::{names, Counter, Gauge, Histogram, Registry};
 
 use crate::filter::FilterReason;
 
@@ -26,10 +26,11 @@ pub fn filter_reason_slug(reason: FilterReason) -> &'static str {
         FilterReason::TooManyCommunities => "too_many_communities",
         FilterReason::BlackholeUnsupported => "blackhole_unsupported",
         FilterReason::PrefixLimitExceeded => "prefix_limit_exceeded",
+        FilterReason::PolicyRule => "policy_rule",
     }
 }
 
-const ALL_REASONS: [FilterReason; 10] = [
+const ALL_REASONS: [FilterReason; 11] = [
     FilterReason::BogonPrefix,
     FilterReason::BogonAsn,
     FilterReason::PathTooLong,
@@ -40,13 +41,24 @@ const ALL_REASONS: [FilterReason; 10] = [
     FilterReason::TooManyCommunities,
     FilterReason::BlackholeUnsupported,
     FilterReason::PrefixLimitExceeded,
+    FilterReason::PolicyRule,
 ];
 
-fn reason_index(reason: FilterReason) -> usize {
-    ALL_REASONS
-        .iter()
-        .position(|r| *r == reason)
-        .expect("every FilterReason is in ALL_REASONS")
+const fn reason_index(reason: FilterReason) -> usize {
+    // Keep in ALL_REASONS order; the test below cross-checks both stay in sync.
+    match reason {
+        FilterReason::BogonPrefix => 0,
+        FilterReason::BogonAsn => 1,
+        FilterReason::PathTooLong => 2,
+        FilterReason::TooSpecific => 3,
+        FilterReason::TooBroad => 4,
+        FilterReason::RsAsnInPath => 5,
+        FilterReason::EmptyPath => 6,
+        FilterReason::TooManyCommunities => 7,
+        FilterReason::BlackholeUnsupported => 8,
+        FilterReason::PrefixLimitExceeded => 9,
+        FilterReason::PolicyRule => 10,
+    }
 }
 
 /// Pre-minted registry handles for everything the route server records.
@@ -69,21 +81,21 @@ pub(crate) struct RsMetrics {
 impl RsMetrics {
     pub fn new(registry: &Registry) -> Self {
         RsMetrics {
-            updates_processed: registry.counter("rs.updates_processed"),
-            routes_accepted: registry.counter("rs.routes_accepted"),
-            routes_withdrawn: registry.counter("rs.routes_withdrawn"),
-            routes_filtered_total: registry.counter("rs.routes_filtered"),
-            action_instances: registry.counter("rs.action_instances"),
-            effective_action_instances: registry.counter("rs.effective_action_instances"),
-            ineffective_action_instances: registry.counter("rs.ineffective_action_instances"),
-            export_evaluations: registry.counter("rs.export_evaluations"),
-            scrubbed_communities: registry.counter("rs.scrubbed_communities"),
-            members: registry.gauge("rs.members"),
-            ingest_ns: registry.histogram("rs.ingest_update"),
+            updates_processed: registry.counter(names::RS_UPDATES_PROCESSED),
+            routes_accepted: registry.counter(names::RS_ROUTES_ACCEPTED),
+            routes_withdrawn: registry.counter(names::RS_ROUTES_WITHDRAWN),
+            routes_filtered_total: registry.counter(names::RS_ROUTES_FILTERED),
+            action_instances: registry.counter(names::RS_ACTION_INSTANCES),
+            effective_action_instances: registry.counter(names::RS_EFFECTIVE_ACTION_INSTANCES),
+            ineffective_action_instances: registry.counter(names::RS_INEFFECTIVE_ACTION_INSTANCES),
+            export_evaluations: registry.counter(names::RS_EXPORT_EVALUATIONS),
+            scrubbed_communities: registry.counter(names::RS_SCRUBBED_COMMUNITIES),
+            members: registry.gauge(names::RS_MEMBERS),
+            ingest_ns: registry.histogram(names::RS_INGEST_UPDATE),
             filtered: ALL_REASONS
                 .iter()
                 .map(|r| {
-                    registry.counter(&format!("rs.routes_filtered.{}", filter_reason_slug(*r)))
+                    registry.counter(&names::rs_routes_filtered_reason(filter_reason_slug(*r)))
                 })
                 .collect(),
         }
@@ -101,6 +113,13 @@ mod tests {
     use super::*;
 
     #[test]
+    fn reason_index_matches_all_reasons_order() {
+        for (i, reason) in ALL_REASONS.iter().enumerate() {
+            assert_eq!(reason_index(*reason), i, "{reason:?}");
+        }
+    }
+
+    #[test]
     fn every_reason_has_a_distinct_slug_and_counter() {
         let mut slugs: Vec<&str> = ALL_REASONS.iter().map(|r| filter_reason_slug(*r)).collect();
         slugs.sort();
@@ -113,9 +132,12 @@ mod tests {
             metrics.record_filtered(reason);
         }
         let snap = registry.snapshot();
-        assert_eq!(snap.counters["rs.routes_filtered"], 10);
+        assert_eq!(
+            snap.counters["rs.routes_filtered"],
+            ALL_REASONS.len() as u64
+        );
         for reason in ALL_REASONS {
-            let name = format!("rs.routes_filtered.{}", filter_reason_slug(reason));
+            let name = names::rs_routes_filtered_reason(filter_reason_slug(reason));
             assert_eq!(snap.counters[&name], 1, "{name}");
         }
     }

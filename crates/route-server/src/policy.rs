@@ -73,12 +73,17 @@ impl RoutePolicy {
                 continue;
             };
             p.action_instances += 1;
-            p.apply(action);
+            p.apply_action(action);
         }
         p
     }
 
-    fn apply(&mut self, action: Action) {
+    /// Fold one action into the digested policy. `digest` calls this for
+    /// every action community on the route; config-level
+    /// [`ImportRule`](crate::rules::ImportRule)s with a
+    /// [`RuleAction::Apply`](crate::rules::RuleAction::Apply) arm call it
+    /// for their injected action.
+    pub fn apply_action(&mut self, action: Action) {
         match (action.kind, action.target) {
             (ActionKind::DoNotAnnounceTo, Target::AllPeers) => self.avoid_all = true,
             (ActionKind::DoNotAnnounceTo, Target::Peer(asn)) => self.avoid_peers.push(asn),

@@ -234,6 +234,26 @@ impl RouteServer {
             return IngestOutcome::Filtered(reason);
         }
 
+        // Declarative import rules: first match decides (crate::rules).
+        // Accept proceeds unchanged; Apply injects an extra action into the
+        // route's digested policy below.
+        let mut injected_action = None;
+        match crate::rules::evaluate(&self.config.import_rules, peer, &route).map(|r| r.action) {
+            Some(crate::rules::RuleAction::Reject) => {
+                let reason = FilterReason::PolicyRule;
+                self.stats.record_filtered(reason);
+                self.metrics.record_filtered(reason);
+                self.filtered.push(FilteredRoute {
+                    peer,
+                    route,
+                    reason,
+                });
+                return IngestOutcome::Filtered(reason);
+            }
+            Some(crate::rules::RuleAction::Apply(action)) => injected_action = Some(action),
+            Some(crate::rules::RuleAction::Accept) | None => {}
+        }
+
         // Blackhole execution: rewrite the next hop to the discard address.
         if self.config.blackhole_enabled && is_blackhole_request(&route) {
             route.next_hop = match route.afi() {
@@ -255,7 +275,13 @@ impl RouteServer {
         }
 
         // Digest the action communities once, at ingestion.
-        let policy = RoutePolicy::digest(&self.dict, &route);
+        let mut policy = RoutePolicy::digest(&self.dict, &route);
+        if let Some(action) = injected_action {
+            // Config-injected actions count as action instances so the
+            // effectiveness accounting below covers them too.
+            policy.action_instances += 1;
+            policy.apply_action(action);
+        }
         self.stats.action_instances += policy.action_instances as u64;
         self.metrics
             .action_instances
@@ -712,6 +738,64 @@ mod tests {
         .build();
         assert_eq!(server.announce(Asn(39120), r), IngestOutcome::Accepted);
         assert_eq!(server.accepted().route_count(), 3);
+    }
+
+    #[test]
+    fn import_rule_reject_surfaces_policy_reason() {
+        use crate::rules::{ImportRule, RuleAction, RuleMatch};
+        let config = RsConfig::for_ixp(IXP).with_import_rules(vec![ImportRule {
+            name: "no-long-v4".into(),
+            matcher: RuleMatch {
+                prefix_len: Some((24, 24)),
+                peer: Some(Asn(39120)),
+                ..RuleMatch::default()
+            },
+            action: RuleAction::Reject,
+        }]);
+        let mut server = RouteServer::new(config);
+        server.add_member(Asn(39120), true, true);
+        server.add_member(Asn(6939), true, true);
+        assert_eq!(
+            server.announce(Asn(39120), route("193.0.10.0/24", &[])),
+            IngestOutcome::Filtered(FilterReason::PolicyRule)
+        );
+        // other peers and other lengths pass
+        let r = Route::builder(
+            "193.0.0.0/20".parse().unwrap(),
+            "198.32.0.7".parse().unwrap(),
+        )
+        .path([39120, 4200])
+        .build();
+        assert_eq!(server.announce(Asn(39120), r), IngestOutcome::Accepted);
+        assert_eq!(server.stats().routes_filtered[&FilterReason::PolicyRule], 1);
+    }
+
+    #[test]
+    fn import_rule_apply_injects_action() {
+        use crate::rules::{ImportRule, RuleAction, RuleMatch};
+        use community_dict::action::Action;
+        // every route from 39120 is treated as do-not-announce-to HE
+        let config = RsConfig::for_ixp(IXP).with_import_rules(vec![ImportRule {
+            name: "shield-he".into(),
+            matcher: RuleMatch {
+                peer: Some(Asn(39120)),
+                ..RuleMatch::default()
+            },
+            action: RuleAction::Apply(Action::avoid(Asn(6939))),
+        }]);
+        let mut server = RouteServer::new(config);
+        server.add_member(Asn(39120), true, true);
+        server.add_member(Asn(6939), true, true);
+        server.add_member(Asn(15169), true, false);
+        assert_eq!(
+            server.announce(Asn(39120), route("193.0.10.0/24", &[])),
+            IngestOutcome::Accepted
+        );
+        assert!(server.export_to(Asn(6939)).is_empty());
+        assert_eq!(server.export_to(Asn(15169)).len(), 1);
+        // the injected action counts in the effectiveness books
+        assert_eq!(server.stats().action_instances, 1);
+        assert_eq!(server.stats().effective_action_instances, 1);
     }
 
     #[test]

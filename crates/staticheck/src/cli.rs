@@ -1,0 +1,263 @@
+//! The `staticheck` command line: mode selection, fixture loading,
+//! allowlist application, rendering, exit codes.
+//!
+//! ```text
+//! staticheck [policy|lints|all] [--json] [--root DIR]
+//!            [--fixture FILE.json] [--allowlist FILE.toml]
+//! ```
+//!
+//! Default mode is `all`. Without a fixture, `policy` verifies every
+//! built-in IXP scheme (members unknown, so SC003 is skipped — the
+//! per-scenario member set is checked by the `repro check` pre-flight).
+//! Exit code is nonzero iff any non-allowlisted error-severity finding
+//! remains.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use bgp_model::asn::Asn;
+use community_dict::dictionary::Dictionary;
+use community_dict::entry::DictionaryEntry;
+use community_dict::ixp::IxpId;
+use route_server::config::RsConfig;
+use route_server::rules::ImportRule;
+
+use crate::allow::Allowlist;
+use crate::diag::{Diagnostic, Report};
+use crate::{lints, policy};
+
+/// A self-contained policy-verification scenario, loadable from JSON.
+/// Used by the seeded-violation fixtures under `tests/fixtures/`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fixture {
+    /// Which IXP's scheme to verify against.
+    pub ixp: IxpId,
+    /// Configured member ASNs; `None` skips SC003.
+    #[serde(default)]
+    pub members: Option<Vec<Asn>>,
+    /// Import rules installed on the route server.
+    #[serde(default)]
+    pub rules: Vec<ImportRule>,
+    /// Extra dictionary entries layered on top of the base.
+    #[serde(default)]
+    pub extra_entries: Vec<DictionaryEntry>,
+    /// Verify against only `extra_entries` instead of the IXP's full
+    /// scheme dictionary (keeps fixture expectations exact).
+    #[serde(default)]
+    pub empty_dict: bool,
+}
+
+impl Fixture {
+    /// Run the policy verifier on this fixture.
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        let config = RsConfig::for_ixp(self.ixp).with_import_rules(self.rules.clone());
+        let mut entries = if self.empty_dict {
+            Vec::new()
+        } else {
+            community_dict::schemes::dictionary(self.ixp)
+                .entries()
+                .to_vec()
+        };
+        entries.extend(self.extra_entries.iter().cloned());
+        let dict = Dictionary::new(self.ixp, entries);
+        let members: Option<BTreeSet<Asn>> =
+            self.members.as_ref().map(|m| m.iter().copied().collect());
+        policy::verify(&config, &dict, members.as_ref())
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+struct Options {
+    mode: Mode,
+    json: bool,
+    warnings: bool,
+    root: PathBuf,
+    fixture: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Policy,
+    Lints,
+    All,
+}
+
+/// The workspace root baked in at compile time; `--root` overrides.
+fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        mode: Mode::All,
+        json: false,
+        warnings: false,
+        root: default_root(),
+        fixture: None,
+        allowlist: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "policy" => opts.mode = Mode::Policy,
+            "lints" => opts.mode = Mode::Lints,
+            "all" => opts.mode = Mode::All,
+            "--json" => opts.json = true,
+            "--warnings" => opts.warnings = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--fixture" => {
+                let v = it.next().ok_or("--fixture needs a file")?;
+                opts.fixture = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist needs a file")?;
+                opts.allowlist = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: staticheck [policy|lints|all] [--json] \
+[--warnings] [--root DIR] [--fixture FILE.json] [--allowlist FILE.toml]";
+
+/// Policy findings for every built-in IXP scheme (members unknown).
+pub fn verify_builtin_schemes() -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for ixp in IxpId::ALL {
+        let config = RsConfig::for_ixp(ixp);
+        let dict = community_dict::schemes::dictionary(ixp);
+        out.extend(policy::verify(&config, &dict, None));
+    }
+    out
+}
+
+/// Run staticheck. Returns the process exit code; diagnostics go to
+/// `stdout`, operational errors to `stderr`.
+pub fn run(args: &[String]) -> i32 {
+    match run_captured(args) {
+        Ok((report, output)) => {
+            if output.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text_with(output.warnings));
+            }
+            report.exit_code()
+        }
+        Err(msg) => {
+            eprintln!("staticheck: {msg}");
+            2
+        }
+    }
+}
+
+/// How [`run`] should print the report.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputOpts {
+    /// Emit JSON instead of text.
+    pub json: bool,
+    /// Include warning-severity findings in text output.
+    pub warnings: bool,
+}
+
+/// The testable core of [`run`]: everything but printing and exiting.
+pub fn run_captured(args: &[String]) -> Result<(Report, OutputOpts), String> {
+    let opts = parse_args(args)?;
+
+    let mut findings = Vec::new();
+    if opts.mode != Mode::Lints {
+        match &opts.fixture {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
+                let fixture: Fixture = serde_json::from_str(&text)
+                    .map_err(|e| format!("bad fixture {}: {e}", path.display()))?;
+                findings.extend(fixture.verify());
+            }
+            None => findings.extend(verify_builtin_schemes()),
+        }
+    }
+    if opts.mode != Mode::Policy {
+        findings.extend(lints::lint_workspace(&opts.root));
+    }
+
+    let allowlist_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("staticheck.toml"));
+    let allowlist = Allowlist::load(&allowlist_path).map_err(|e| e.to_string())?;
+
+    let mut report = Report::default();
+    for d in findings {
+        if allowlist.waiver(&d).is_some() {
+            report.allowed.push(d);
+        } else {
+            report.findings.push(d);
+        }
+    }
+    Ok((
+        report,
+        OutputOpts {
+            json: opts.json,
+            warnings: opts.warnings,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn committed_tree_is_clean() {
+        // the acceptance gate: `staticheck all` exits 0 on this repo
+        let (report, _) = run_captured(&s(&["all"])).expect("run");
+        assert_eq!(report.exit_code(), 0, "{}", report.render_text());
+    }
+
+    #[test]
+    fn unknown_argument_is_an_error() {
+        assert!(run_captured(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn output_flags_are_parsed() {
+        let (_, out) = run_captured(&s(&["policy", "--json"])).expect("run");
+        assert!(out.json && !out.warnings);
+        let (_, out) = run_captured(&s(&["policy", "--warnings"])).expect("run");
+        assert!(out.warnings && !out.json);
+    }
+
+    #[test]
+    fn fixture_round_trip() {
+        let f = Fixture {
+            ixp: IxpId::DeCixFra,
+            members: Some(vec![Asn(64500)]),
+            rules: Vec::new(),
+            extra_entries: Vec::new(),
+            empty_dict: true,
+        };
+        let text = serde_json::to_string(&f).expect("serialize");
+        let back: Fixture = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back.ixp, IxpId::DeCixFra);
+        assert!(back.empty_dict);
+        assert!(back.verify().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Diagnostics: stable codes, severities, locations, and rendering.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is. Only non-allowlisted [`Severity::Error`]
+/// findings fail the build; warnings are reported but never gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Worth knowing; does not fail CI.
+    Warning,
+    /// A real defect; fails CI unless allowlisted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding. `code` is stable across releases (SC0xx = policy
+/// verifier, SC1xx = workspace linter) so allowlists and CI greps
+/// never chase renames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`SC001`, `SC101`, ...).
+    pub code: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where: `path:line` for lints, rule/entry descriptor for policy.
+    pub location: String,
+    /// What and why, one line.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a finding.
+    pub fn new(
+        code: &str,
+        severity: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.location
+        )
+    }
+}
+
+/// A finished run: every finding plus which ones the allowlist waived.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Findings that count (not allowlisted).
+    pub findings: Vec<Diagnostic>,
+    /// Findings waived by `staticheck.toml`.
+    pub allowed: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of gating (error-severity, non-allowlisted) findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Exit code for a CI gate: zero only when no errors remain.
+    pub fn exit_code(&self) -> i32 {
+        if self.error_count() == 0 {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Human-readable rendering, one finding per line, summary last.
+    pub fn render_text(&self) -> String {
+        self.render_text_with(true)
+    }
+
+    /// Text rendering with warnings optionally elided (the summary line
+    /// always carries the counts; `--json` always carries everything).
+    pub fn render_text_with(&self, show_warnings: bool) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            if show_warnings || d.severity == Severity::Error {
+                out.push_str(&d.to_string());
+                out.push('\n');
+            }
+        }
+        let warnings = self.findings.len() - self.error_count();
+        if !show_warnings && warnings > 0 {
+            out.push_str("(warnings elided; pass --warnings or --json to see them)\n");
+        }
+        out.push_str(&format!(
+            "staticheck: {} error(s), {} warning(s), {} allowlisted\n",
+            self.error_count(),
+            warnings,
+            self.allowed.len()
+        ));
+        out
+    }
+
+    /// JSON rendering (machine-readable CI artifact).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.allowed.extend(other.allowed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_code_gates_on_errors_only() {
+        let mut r = Report::default();
+        r.findings
+            .push(Diagnostic::new("SC004", Severity::Warning, "x", "warn"));
+        assert_eq!(r.exit_code(), 0);
+        r.findings
+            .push(Diagnostic::new("SC001", Severity::Error, "y", "err"));
+        assert_eq!(r.exit_code(), 1);
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn text_rendering_mentions_code_and_location() {
+        let mut r = Report::default();
+        r.findings.push(Diagnostic::new(
+            "SC002",
+            Severity::Error,
+            "rule 'a' vs rule 'b'",
+            "contradictory actions",
+        ));
+        let text = r.render_text();
+        assert!(text.contains("SC002"));
+        assert!(text.contains("rule 'a' vs rule 'b'"));
+        assert!(text.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::default();
+        r.findings
+            .push(Diagnostic::new("SC003", Severity::Error, "loc", "msg"));
+        let parsed: Report = serde_json::from_str(&r.render_json()).unwrap();
+        assert_eq!(parsed.findings, r.findings);
+    }
+}

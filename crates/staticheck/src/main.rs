@@ -1,0 +1,6 @@
+//! `staticheck` binary: thin wrapper over [`staticheck::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(staticheck::cli::run(&args));
+}

@@ -1,0 +1,153 @@
+//! Seeded-violation fixtures: each JSON file under `tests/fixtures/`
+//! plants one known defect class and the verifier must report exactly
+//! the expected stable diagnostic codes, with a nonzero exit.
+
+use std::path::PathBuf;
+
+use staticheck::cli::run_captured;
+use staticheck::{Report, Severity};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Run `staticheck policy --fixture <name>` hermetically (no repo
+/// allowlist, so waivers can never mask a seeded violation).
+fn run_fixture(name: &str) -> Report {
+    let args: Vec<String> = [
+        "policy",
+        "--fixture",
+        fixture_path(name).to_str().expect("utf-8 path"),
+        "--allowlist",
+        "/nonexistent/staticheck.toml",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (report, _) = run_captured(&args).expect("fixture runs");
+    report
+}
+
+fn codes(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|d| d.code.as_str()).collect()
+}
+
+#[test]
+fn shadowed_fixture_reports_sc001_and_fails() {
+    let report = run_fixture("shadowed.json");
+    assert_eq!(codes(&report), vec!["SC001"]);
+    assert!(report.findings[0].location.contains("reject-long-v4"));
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn contradictory_fixture_reports_sc002_and_fails() {
+    let report = run_fixture("contradictory.json");
+    assert_eq!(codes(&report), vec!["SC002"]);
+    assert!(report.findings[0].location.contains("only-to-he-on-v4"));
+    assert!(report.findings[0]
+        .location
+        .contains("avoid-he-on-host-routes"));
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn ineffective_fixture_reports_sc003_rule_error_and_entry_warning() {
+    let report = run_fixture("ineffective.json");
+    assert_eq!(codes(&report), vec!["SC003", "SC003"]);
+    let rule_finding = report
+        .findings
+        .iter()
+        .find(|d| d.location.contains("avoid-ovh"))
+        .expect("rule finding");
+    assert_eq!(rule_finding.severity, Severity::Error);
+    assert!(rule_finding.message.contains("16276"));
+    let entry_finding = report
+        .findings
+        .iter()
+        .find(|d| d.location.starts_with("dict("))
+        .expect("entry finding");
+    assert_eq!(entry_finding.severity, Severity::Warning);
+    assert!(entry_finding.message.contains("49999"));
+    // the error-grade rule finding alone fails the gate
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn ambiguous_fixture_reports_sc004_and_fails() {
+    let report = run_fixture("ambiguous.json");
+    assert_eq!(codes(&report), vec!["SC004"]);
+    assert_eq!(report.findings[0].severity, Severity::Error);
+    // the message names a concrete witness community in the overlap
+    assert!(report.findings[0].message.contains("65100:"));
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn lints_engine_reports_seeded_violations() {
+    // build a tiny fake workspace root with one violation per lint
+    let root = std::env::temp_dir().join(format!("staticheck-lint-{}", std::process::id()));
+    let src = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        concat!(
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+            "pub fn m(r: &obs::Registry) { r.counter(\"demo.count\"); }\n",
+            "#[cfg(test)]\nmod tests {\n    fn fine() { None::<u8>.unwrap(); }\n}\n",
+        ),
+    )
+    .expect("write");
+
+    let args: Vec<String> = [
+        "lints",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--allowlist",
+        "/nonexistent/staticheck.toml",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (report, _) = run_captured(&args).expect("lints run");
+    std::fs::remove_dir_all(&root).ok();
+
+    let mut found = codes(&report);
+    found.sort_unstable();
+    // SC104 fires too: the fake root has no obs::names registry at all
+    assert_eq!(found, vec!["SC101", "SC102", "SC103", "SC104"]);
+    assert!(report
+        .findings
+        .iter()
+        .all(|d| d.severity == Severity::Error));
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn allowlist_waives_fixture_findings() {
+    // same seeded violation, but an allowlist that waives SC001 by path
+    let allow = std::env::temp_dir().join(format!("staticheck-allow-{}.toml", std::process::id()));
+    std::fs::write(
+        &allow,
+        "[[allow]]\ncode = \"SC001\"\nreason = \"fixture waiver for the allowlist test\"\n",
+    )
+    .expect("write allowlist");
+    let args: Vec<String> = [
+        "policy",
+        "--fixture",
+        fixture_path("shadowed.json").to_str().expect("utf-8 path"),
+        "--allowlist",
+        allow.to_str().expect("utf-8 path"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (report, _) = run_captured(&args).expect("run");
+    std::fs::remove_file(&allow).ok();
+    assert!(report.findings.is_empty());
+    assert_eq!(report.allowed.len(), 1);
+    assert_eq!(report.exit_code(), 0);
+}

@@ -11,9 +11,10 @@
 //! cargo run --release --example ineffective_audit
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ixp_actions::prelude::*;
+use ixp_actions::staticheck;
 
 fn main() {
     let ixp = IxpId::AmsIx;
@@ -79,5 +80,30 @@ fn main() {
     println!(
         "\nwhy operators do it anyway: if one of those ASes joins the RS tomorrow,\n\
          the protection is already in place — no reconfiguration race, no traffic leak."
+    );
+
+    // Cross-check: the static verifier must predict, from the dictionary
+    // and member set alone, exactly the ineffective-target set the route
+    // server computed while executing policies.
+    let members: BTreeSet<Asn> = rs.members().map(|m| m.asn).collect();
+    let static_set = staticheck::policy::ineffective_targets(
+        dict,
+        &members,
+        rs.accepted().iter().map(|(_, r)| r),
+    );
+    let mut dynamic_set: BTreeSet<Asn> = BTreeSet::new();
+    for (peer, route) in rs.accepted().iter() {
+        if let Some(policy) = rs.policy(peer, &route.prefix) {
+            dynamic_set.extend(policy.peer_targets().filter(|t| !rs.is_member(*t)));
+        }
+    }
+    assert_eq!(
+        static_set, dynamic_set,
+        "static prediction and dynamic audit disagree on ineffective targets"
+    );
+    println!(
+        "\nstatic cross-check: staticheck predicts the same {} ineffective target ASes\n\
+         from configuration alone — simulation confirmed the static analysis.",
+        static_set.len()
     );
 }

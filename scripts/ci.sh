@@ -22,6 +22,9 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> staticheck (policy verifier + workspace lints)"
+cargo run -q -p staticheck -- all
+
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

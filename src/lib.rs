@@ -19,6 +19,8 @@
 //! assert!(world.rs.stats().ineffective_fraction() > 0.2); // §5.5
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use analysis;
 pub use bgp_model;
 pub use bgp_wire;
@@ -26,6 +28,7 @@ pub use community_dict;
 pub use ixp_sim;
 pub use looking_glass;
 pub use route_server;
+pub use staticheck;
 
 /// Everything most users need.
 pub mod prelude {

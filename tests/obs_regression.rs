@@ -131,6 +131,30 @@ fn registry_counters_match_legacy_stats() {
     assert_eq!(ingest.count, stats.updates_processed);
 }
 
+/// Every instrument name the route server actually records must appear in
+/// the central `obs::names` registry (statically or as a registered dynamic
+/// family) — the contract the `staticheck` SC103 lint enforces at the source
+/// level, re-checked here against runtime behaviour.
+#[test]
+fn recorded_names_are_registered() {
+    let registry = obs::Registry::new();
+    let mut rs = RouteServer::with_registry(RsConfig::for_ixp(IXP), &registry);
+    exercise(&mut rs);
+
+    let snap = registry.snapshot();
+    let recorded = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys());
+    for name in recorded {
+        assert!(
+            obs::names::is_registered(name),
+            "instrument {name:?} missing from obs::names"
+        );
+    }
+}
+
 #[test]
 fn noop_registry_keeps_legacy_stats_only() {
     let registry = obs::Registry::noop();

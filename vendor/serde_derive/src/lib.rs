@@ -10,6 +10,8 @@
 //!   (externally tagged: `"Variant"` or `{"Variant": ...}`)
 //! - `#[serde(skip)]` on named fields (omitted on serialize,
 //!   `Default::default()` on deserialize)
+//! - `#[serde(default)]` on named fields (absent or null deserializes
+//!   as `Default::default()`; still serialized normally)
 //! - `#[serde(transparent)]` on single-field structs
 //!
 //! Generics are not supported; the derive panics with a clear message
@@ -26,6 +28,7 @@ use std::fmt::Write as _;
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -63,6 +66,7 @@ enum Item {
 struct SerdeAttrs {
     skip: bool,
     transparent: bool,
+    default: bool,
 }
 
 fn scan_serde_attr(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
@@ -81,6 +85,7 @@ fn scan_serde_attr(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
             match i.to_string().as_str() {
                 "skip" => attrs.skip = true,
                 "transparent" => attrs.transparent = true,
+                "default" => attrs.default = true,
                 other => panic!("serde stub derive: unsupported #[serde({other})] attribute"),
             }
         }
@@ -164,6 +169,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
         fields.push(Field {
             name: name.to_string(),
             skip: attrs.skip,
+            default: attrs.default,
         });
     }
     fields
@@ -408,6 +414,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 fn field_expr(f: &Field, err_ty: &str) -> String {
     if f.skip {
         "std::default::Default::default()".to_string()
+    } else if f.default {
+        // #[serde(default)]: absent (or explicit null) falls back to
+        // Default::default() instead of failing the whole struct.
+        format!(
+            "match __take(\"{}\") {{\n\
+             serde::content::Content::Null => std::default::Default::default(),\n\
+             __c => serde::Deserialize::deserialize(\
+             serde::de::ContentDeserializer::<{err_ty}>::new(__c))?,\n\
+             }}",
+            f.name
+        )
     } else {
         format!(
             "serde::Deserialize::deserialize(\
