@@ -97,7 +97,9 @@ fn main() {
                 println!(
                     "repro [--scale F] [--seed N] [--all-ixps] [--csv DIR] [--json FILE] [EXPERIMENT...]\n\
                      experiments: check table1 fig1 fig2 fig3 fig4a fig4b fig4c table2 \
-                     type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation overlap all"
+                     type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation overlap all\n\
+                     extra (not in `all`): chaos — run the deterministic fault-injection \
+                     corpus (CHAOS_SEEDS=N overrides the seed count)"
                 );
                 return;
             }
@@ -153,7 +155,7 @@ fn main() {
 
     let needs_world = experiments
         .iter()
-        .any(|e| !matches!(e.as_str(), "table3" | "table4" | "sanitation"));
+        .any(|e| !matches!(e.as_str(), "table3" | "table4" | "sanitation" | "chaos"));
     // (the overlap analysis also needs the world)
     let ctx = if needs_world {
         eprintln!(
@@ -216,6 +218,7 @@ fn main() {
             "table4" => run_table4(&ctx),
             "sanitation" => run_sanitation(&ctx),
             "overlap" => run_overlap(&ctx),
+            "chaos" => run_chaos(seed),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -964,4 +967,62 @@ fn run_overlap(ctx: &Ctx) {
         common.join(", ")
     );
     println!("paper: six common avoided ASes across the big four (IPv4), incl. Google, LeaseWeb, Akamai, OVHcloud\n");
+}
+
+/// `repro chaos` — run the deterministic fault-injection corpus outside
+/// the test harness, with one obs span per seed. Not part of `all`:
+/// chaos validates the *pipeline*, not the paper's numbers. Exits
+/// nonzero if any seed produces an oracle violation or a
+/// non-deterministic replay.
+fn run_chaos(master_seed: u64) {
+    use chaos::prelude::*;
+
+    let registry = obs::global();
+    let seeds: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let cfg = CampaignConfig::default();
+    println!(
+        "chaos: {seeds} seed(s), {} days over {:?} at scale {}",
+        cfg.days, cfg.ixp, cfg.scale
+    );
+
+    let mut failed = 0u64;
+    for i in 0..seeds {
+        let seed = master_seed.wrapping_add(i);
+        let _span = registry
+            .histogram(&obs::names::chaos_seed_span(seed))
+            .start();
+        let plan = FaultPlan::from_seed(seed, cfg.days);
+        let baseline = run_campaign(seed, &FaultPlan::none(), &cfg);
+        let faulted = run_campaign(seed, &plan, &cfg);
+        let mut violations = check_campaign(&faulted, &baseline, &plan, &cfg);
+        let rerun = run_campaign(seed, &plan, &cfg);
+        if let Some(v) = check_determinism(&faulted, &rerun) {
+            violations.push(v);
+        }
+        println!(
+            "  seed {seed:#x}: {} fault(s) injected, {} violation(s), dataset {:016x}",
+            faulted.stats.total_faults(),
+            violations.len(),
+            faulted.dataset_hash
+        );
+        if !violations.is_empty() {
+            failed += 1;
+            for v in &violations {
+                println!("    violation: {v}");
+            }
+            println!(
+                "    replay: CHAOS_REPLAY='{{\"seed\":{seed},\"plan\":{}}}' \
+                 cargo test -p chaos --test chaos_suite replay_from_env -- --nocapture --ignored",
+                plan.to_json()
+            );
+        }
+    }
+    if failed > 0 {
+        eprintln!("chaos: {failed}/{seeds} seed(s) violated an invariant");
+        std::process::exit(1);
+    }
+    println!("chaos: all {seeds} seed(s) green and deterministic\n");
 }

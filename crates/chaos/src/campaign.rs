@@ -1,0 +1,321 @@
+//! The chaotic campaign driver: build one IXP world, then run a
+//! multi-day collect→sanitize pipeline entirely on a virtual clock with
+//! a [`FaultPlan`] injected at the transport and server layers. Equal
+//! `(seed, plan)` pairs produce byte-identical outcomes — the
+//! determinism the oracles verify by hashing.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use bgp_model::asn::Asn;
+use bgp_model::prefix::Afi;
+use bgp_model::route::Route;
+use community_dict::ixp::IxpId;
+use ixp_sim::world::{build_ixp, WorldConfig};
+use looking_glass::api::LgError;
+use looking_glass::client::{Collector, CollectorConfig};
+use looking_glass::clock::{Clock, VirtualClock};
+use looking_glass::sanitize::{sanitize_store, SanitationReport, SanitizeConfig};
+use looking_glass::server::{FailureModel, LgServer, RateLimiter};
+use looking_glass::snapshot::SnapshotStore;
+use route_server::server::Member;
+
+use crate::inject::{ChaosTransport, InjectStats};
+use crate::plan::FaultPlan;
+
+/// Virtual milliseconds between campaign days. Collections are minutes
+/// long on the virtual clock, so an hour of logical spacing keeps days
+/// disjoint while staying readable in traces.
+pub const DAY_MS: u64 = 3_600_000;
+
+/// The logical-time budget one day's collection may consume before the
+/// `DayOverran` oracle fires (half the day spacing).
+pub const DAY_BUDGET_MS: u64 = DAY_MS / 2;
+
+/// Campaign shape: which world, how many days, which family.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The IXP to build and collect from.
+    pub ixp: IxpId,
+    /// World scale factor (0.01 keeps a campaign day around a hundred
+    /// requests).
+    pub scale: f64,
+    /// Number of daily snapshots to collect.
+    pub days: u32,
+    /// Address family collected.
+    pub afi: Afi,
+    /// Collector tuning for the campaign.
+    pub collector: CollectorConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            ixp: IxpId::Netnod,
+            scale: 0.01,
+            days: 6,
+            afi: Afi::Ipv4,
+            // Deep retries: with the corpus fault rates capped well below
+            // ten percent per request, nine attempts make a lost peer a
+            // (deterministic) non-event, so the corpus expects complete
+            // snapshots and CompletenessViolated stays a real signal.
+            collector: CollectorConfig {
+                max_retries: 8,
+                ..CollectorConfig::default()
+            },
+        }
+    }
+}
+
+/// One day of the campaign.
+#[derive(Debug, Clone)]
+pub struct DayRecord {
+    /// Day index.
+    pub day: u32,
+    /// Whether the day's collection produced a snapshot.
+    pub result: Result<(), LgError>,
+    /// Logical milliseconds the day's collection consumed.
+    pub virtual_ms: u64,
+}
+
+/// Everything a finished campaign exposes to the oracles.
+pub struct CampaignOutcome {
+    /// The raw collected snapshots.
+    pub store: SnapshotStore,
+    /// The snapshots after valley sanitation.
+    pub sanitized: SnapshotStore,
+    /// What sanitation removed.
+    pub sanitation: SanitationReport,
+    /// Per-day collection records.
+    pub days: Vec<DayRecord>,
+    /// What the injector did.
+    pub stats: InjectStats,
+    /// Total logical time the campaign consumed.
+    pub virtual_ms: u64,
+    /// FNV-1a hash over both datasets — the determinism fingerprint.
+    pub dataset_hash: u64,
+}
+
+/// FNV-1a, 64 bit: the dataset fingerprint. Stable across runs and
+/// platforms; collisions are irrelevant because the oracle only compares
+/// hashes of runs that must be *identical*.
+pub fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn hash_store(store: &SnapshotStore, mut hash: u64) -> u64 {
+    for snap in store.iter() {
+        match serde_json::to_vec(snap) {
+            Ok(bytes) => hash = fnv1a(&bytes, hash),
+            Err(_) => hash = fnv1a(b"<unserializable>", hash),
+        }
+    }
+    hash
+}
+
+/// Hash the raw and sanitized datasets into one fingerprint.
+pub fn dataset_hash(raw: &SnapshotStore, sanitized: &SnapshotStore) -> u64 {
+    hash_store(sanitized, hash_store(raw, FNV_OFFSET))
+}
+
+fn default_limiter() -> RateLimiter {
+    // LgServer's construction-time default (capacity 40, 20/s); there is
+    // no getter, so the restore after a storm day re-states it.
+    RateLimiter::new(40, 20.0)
+}
+
+fn storm_limiter() -> RateLimiter {
+    RateLimiter::new(2, 2.0)
+}
+
+/// The member the between-day flap targets: the peer with the fewest
+/// (but nonzero) accepted routes in `afi` — small enough that its
+/// disappearance never looks like a sanitation valley.
+fn flap_target(rs: &route_server::server::RouteServer, afi: Afi) -> Option<Member> {
+    rs.members()
+        .filter(|m| m.has_session(afi))
+        .filter_map(|m| {
+            let count = rs.accepted().peer(m.asn)?.iter_afi(afi).count();
+            (count > 0).then_some((count, *m))
+        })
+        .min_by_key(|(count, m)| (*count, m.asn))
+        .map(|(_, m)| m)
+}
+
+fn saved_routes(rs: &route_server::server::RouteServer, peer: Asn) -> Vec<Route> {
+    let mut routes = Vec::new();
+    if let Some(table) = rs.accepted().peer(peer) {
+        routes.extend(table.iter().cloned());
+    }
+    routes
+}
+
+/// Run one chaotic campaign. Identical `(seed, plan, cfg)` triples give
+/// identical outcomes; `plan = FaultPlan::none()` is the fault-free
+/// baseline the conservation oracle compares against.
+pub fn run_campaign(seed: u64, plan: &FaultPlan, cfg: &CampaignConfig) -> CampaignOutcome {
+    let _span = obs::span!(obs::names::CHAOS_CAMPAIGN);
+    let world = build_ixp(
+        cfg.ixp,
+        &WorldConfig {
+            seed,
+            scale: cfg.scale,
+        },
+    );
+    let rs = Arc::new(RwLock::new(world.rs));
+    let lg = LgServer::new(Arc::clone(&rs), seed ^ 0x16_5EED);
+    let clock = VirtualClock::new(0);
+    let collector = Collector::new(cfg.collector.clone());
+
+    let mut store = SnapshotStore::new();
+    let mut stats = InjectStats::default();
+    let mut days = Vec::with_capacity(cfg.days as usize);
+
+    for day in 0..cfg.days {
+        clock.advance_to(u64::from(day) * DAY_MS);
+        let day_start = clock.now_ms();
+
+        // day-level server faults
+        let truncating = plan.truncate_days.contains(&day);
+        if truncating {
+            // rate 1.0: every page halved, so the day's loss is ≥50% —
+            // deterministically past the 30% valley threshold sanitation
+            // keys on (a marginal rate would make the oracle flaky)
+            lg.set_failures(FailureModel {
+                error_rate: 0.0,
+                truncate_rate: 1.0,
+            });
+        }
+        let storming = plan.storm_days.contains(&day);
+        if storming {
+            lg.set_limiter(storm_limiter());
+        }
+
+        // between-day flap: the peer's session is down for the whole day
+        let mut flapped: Option<(Member, Vec<Route>)> = None;
+        if plan.flap_days.contains(&day) && !plan.mid_collection_flap {
+            let target = flap_target(&rs.read(), cfg.afi);
+            if let Some(member) = target {
+                let routes = saved_routes(&rs.read(), member.asn);
+                rs.write().remove_member(member.asn);
+                stats.flapped.insert(day, member.asn);
+                flapped = Some((member, routes));
+            }
+        }
+
+        let (result, churned, flap_dropped) = {
+            let mut transport =
+                ChaosTransport::new(&lg, &clock, plan, Arc::clone(&rs), day, seed, &mut stats);
+            let outcome = collector.collect_with_clock(&mut transport, cfg.afi, day, &clock);
+            let churned = std::mem::take(&mut transport.churned_routes);
+            let flap_dropped = std::mem::take(&mut transport.flap_dropped);
+            (outcome, churned, flap_dropped)
+        };
+
+        // undo the day's world mutations so the next day starts clean
+        {
+            let mut rs = rs.write();
+            for (peer, prefix) in churned {
+                rs.withdraw(peer, &prefix);
+            }
+            for (peer, route) in flap_dropped {
+                rs.announce(peer, route);
+            }
+            if let Some((member, routes)) = flapped {
+                rs.add_member(member.asn, member.ipv4, member.ipv6);
+                for route in routes {
+                    rs.announce(member.asn, route);
+                }
+            }
+        }
+        if truncating {
+            lg.set_failures(FailureModel::NONE);
+        }
+        if storming {
+            lg.set_limiter(default_limiter());
+        }
+
+        let virtual_ms = clock.now_ms().saturating_sub(day_start);
+        let result = match result {
+            Ok(report) => {
+                store.insert(report.snapshot);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        };
+        days.push(DayRecord {
+            day,
+            result,
+            virtual_ms,
+        });
+    }
+
+    let mut sanitized = store.clone();
+    let sanitation = sanitize_store(&mut sanitized, &SanitizeConfig::default());
+    let virtual_ms = clock.now_ms();
+    let hash = dataset_hash(&store, &sanitized);
+
+    let m = crate::metrics::handles();
+    m.campaigns.inc();
+    m.virtual_ms.record(virtual_ms);
+
+    CampaignOutcome {
+        store,
+        sanitized,
+        sanitation,
+        days,
+        stats,
+        virtual_ms,
+        dataset_hash: hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_campaign_is_complete() {
+        let cfg = CampaignConfig::default();
+        let outcome = run_campaign(0xBA5E, &FaultPlan::none(), &cfg);
+        assert_eq!(outcome.store.len(), cfg.days as usize);
+        assert_eq!(outcome.stats.total_faults(), 0);
+        for rec in &outcome.days {
+            assert!(rec.result.is_ok(), "day {}: {:?}", rec.day, rec.result);
+            assert!(rec.virtual_ms <= DAY_BUDGET_MS);
+        }
+        for snap in outcome.store.iter() {
+            assert!(!snap.partial);
+            assert!(snap.failed_peers.is_empty());
+        }
+    }
+
+    #[test]
+    fn equal_seed_and_plan_reproduce_the_dataset_hash() {
+        let cfg = CampaignConfig::default();
+        let plan = FaultPlan::from_seed(3, cfg.days);
+        let a = run_campaign(3, &plan, &cfg);
+        let b = run_campaign(3, &plan, &cfg);
+        assert_eq!(a.dataset_hash, b.dataset_hash);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
+        assert_eq!(
+            a.stats.faults, b.stats.faults,
+            "fault injection must be deterministic"
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // standard FNV-1a test vectors
+        assert_eq!(fnv1a(b"", FNV_OFFSET), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a", FNV_OFFSET), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar", FNV_OFFSET), 0x85944171F73967E8);
+    }
+}

@@ -1,0 +1,38 @@
+//! Chaos-harness telemetry: campaign counts and spans, fault-injection
+//! counters (total and per class), oracle violations, and the logical
+//! time a campaign consumed. Handles are minted from [`obs::global()`]
+//! with names from the `obs::names` registry only.
+
+use std::sync::OnceLock;
+
+use obs::{names, Counter, Histogram};
+
+pub(crate) struct ChaosMetrics {
+    /// Chaotic campaigns run to completion.
+    pub campaigns: Counter,
+    /// Faults injected, all classes.
+    pub faults: Counter,
+    /// Invariant-oracle violations detected.
+    pub oracle_violations: Counter,
+    /// Logical milliseconds consumed per campaign.
+    pub virtual_ms: Histogram,
+}
+
+pub(crate) fn handles() -> &'static ChaosMetrics {
+    static HANDLES: OnceLock<ChaosMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = obs::global();
+        ChaosMetrics {
+            campaigns: registry.counter(names::CHAOS_CAMPAIGNS),
+            faults: registry.counter(names::CHAOS_FAULTS_INJECTED),
+            oracle_violations: registry.counter(names::CHAOS_ORACLE_VIOLATIONS),
+            virtual_ms: registry.histogram(names::CHAOS_VIRTUAL_MS),
+        }
+    })
+}
+
+/// Count one injected fault of `class` (total + per-class family).
+pub(crate) fn count_fault(class: &'static str) {
+    handles().faults.inc();
+    obs::global().counter(&names::chaos_fault(class)).inc();
+}

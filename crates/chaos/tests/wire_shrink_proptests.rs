@@ -1,0 +1,245 @@
+//! UPDATE encode/decode round-trips driven by the chaos crate's own
+//! property framework — unlike the vendored-`proptest` suite in
+//! `bgp-wire`, a failure here shrinks to a minimal route via the
+//! recorded choice stream, and the counterexample is replayable.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bgp_model::asn::Asn;
+use bgp_model::community::{well_known, ExtendedCommunity, LargeCommunity, StandardCommunity};
+use bgp_model::prefix::Prefix;
+use bgp_model::route::{Origin, Route};
+use bgp_wire::convert::{routes_to_update, routes_to_updates, update_to_routes};
+use bgp_wire::message::Message;
+use bytes::BytesMut;
+use chaos::prelude::*;
+use community_dict::ixp::IxpId;
+use community_dict::schemes;
+
+fn gen_v4_prefix(c: &mut Choices) -> Prefix {
+    let len = c.draw(32) as u8;
+    let bits = (c.draw(u64::from(u32::MAX)) as u32) & prefix_mask_v4(len);
+    Prefix::new(IpAddr::V4(Ipv4Addr::from(bits)), len).expect("masked v4 prefix is valid")
+}
+
+fn prefix_mask_v4(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+fn gen_v6_prefix(c: &mut Choices) -> Prefix {
+    let len = c.draw(128) as u8;
+    let hi = u128::from(c.draw(u64::MAX)) << 64;
+    let bits = (hi | u128::from(c.draw(u64::MAX))) & prefix_mask_v6(len);
+    Prefix::new(IpAddr::V6(Ipv6Addr::from(bits)), len).expect("masked v6 prefix is valid")
+}
+
+fn prefix_mask_v6(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - u32::from(len))
+    }
+}
+
+/// A standard community: mostly arbitrary values, with the interesting
+/// corners — action communities (avoid / only / prepend), BLACKHOLE and
+/// the other well-known values — drawn explicitly so every run covers
+/// them.
+fn gen_standard(c: &mut Choices) -> StandardCommunity {
+    match c.draw(5) {
+        0 => StandardCommunity::from_parts(c.draw(0xFFFF) as u16, c.draw(0xFFFF) as u16),
+        1 => schemes::avoid_community(IxpId::DeCixFra, Asn(c.draw(0xFFFF) as u32)),
+        2 => schemes::only_community(IxpId::Linx, Asn(c.draw(0xFFFF) as u32)),
+        3 => schemes::prepend_community(IxpId::DeCixFra, Asn(c.draw(0xFFFF) as u32), 2)
+            .unwrap_or(well_known::NO_EXPORT),
+        4 => well_known::BLACKHOLE,
+        _ => well_known::GRACEFUL_SHUTDOWN,
+    }
+}
+
+fn gen_large(c: &mut Choices) -> LargeCommunity {
+    LargeCommunity::new(
+        c.draw(u64::from(u32::MAX)) as u32,
+        c.draw(u64::from(u32::MAX)) as u32,
+        c.draw(u64::from(u32::MAX)) as u32,
+    )
+}
+
+fn gen_extended(c: &mut Choices) -> ExtendedCommunity {
+    ExtendedCommunity::two_octet_as(
+        c.draw(0xFF) as u8,
+        c.draw(0xFFFF) as u16,
+        c.draw(u64::from(u32::MAX)) as u32,
+    )
+}
+
+fn gen_path(c: &mut Choices) -> Vec<u32> {
+    let len = 1 + c.draw(5) as usize;
+    (0..len).map(|_| 1 + c.draw(3_999_999) as u32).collect()
+}
+
+fn gen_route(c: &mut Choices, v6: bool) -> Route {
+    let (prefix, next_hop) = if v6 {
+        let hi = u128::from(c.draw(u64::MAX)) << 64;
+        let nh = hi | u128::from(c.draw(u64::MAX));
+        (gen_v6_prefix(c), IpAddr::V6(Ipv6Addr::from(nh)))
+    } else {
+        (
+            gen_v4_prefix(c),
+            IpAddr::V4(Ipv4Addr::from(c.draw(u64::from(u32::MAX)) as u32)),
+        )
+    };
+    let path = gen_path(c);
+    let origin = Origin::from_code(c.draw(2) as u8).expect("0..=2 is a valid origin");
+    // continue-flag lists (not count-prefixed): deleting one element's
+    // draws from the choice stream keeps everything after it aligned,
+    // which is what lets the shrinker remove whole communities
+    let mut standards = Vec::new();
+    while standards.len() < 11 && c.draw_bool(700) {
+        standards.push(gen_standard(c));
+    }
+    let mut route = Route::builder(prefix, next_hop)
+        .path(path)
+        .origin(origin)
+        .standards(standards)
+        .build();
+    if !v6 {
+        // extended communities ride the v4 attribute path in this codec
+        while route.extended_communities.len() < 3 && c.draw_bool(400) {
+            route.extended_communities.push(gen_extended(c));
+        }
+    }
+    while route.large_communities.len() < 3 && c.draw_bool(400) {
+        route.large_communities.push(gen_large(c));
+    }
+    if c.draw(1) == 1 {
+        route.med = Some(c.draw(u64::from(u32::MAX)) as u32);
+    }
+    route
+}
+
+fn wire_roundtrip(route: &Route) -> Route {
+    let update = routes_to_update(std::slice::from_ref(route));
+    let wire = Message::Update(update).encode().expect("route encodes");
+    let mut buf = BytesMut::from(&wire[..]);
+    let Some(Message::Update(decoded)) = Message::decode(&mut buf).expect("frame decodes") else {
+        panic!("decoded message is not an UPDATE");
+    };
+    assert!(buf.is_empty(), "decoder left trailing bytes");
+    update_to_routes(&decoded)
+        .expect("decoded update is valid")
+        .announced
+        .remove(0)
+}
+
+fn fail(ce: &CounterExample<Route>, afi: &str) -> ! {
+    panic!(
+        "{afi} route does not survive the wire (shrunk over {} step(s)):\n  {:?}\n  \
+         replay choices: {:?}",
+        ce.shrink_steps, ce.value, ce.choices
+    );
+}
+
+#[test]
+fn v4_routes_survive_update_roundtrip() {
+    let config = CheckConfig {
+        seed: 0x4117E,
+        iterations: 192,
+        ..CheckConfig::default()
+    };
+    if let Err(ce) = check(
+        &config,
+        |c| gen_route(c, false),
+        |r| wire_roundtrip(r) == *r,
+    ) {
+        fail(&ce, "v4");
+    }
+}
+
+#[test]
+fn v6_routes_survive_update_roundtrip() {
+    let config = CheckConfig {
+        seed: 0x6117E,
+        iterations: 192,
+        ..CheckConfig::default()
+    };
+    if let Err(ce) = check(&config, |c| gen_route(c, true), |r| wire_roundtrip(r) == *r) {
+        fail(&ce, "v6");
+    }
+}
+
+#[test]
+fn route_batches_survive_update_batching() {
+    let config = CheckConfig {
+        seed: 0xBA7C4,
+        iterations: 64,
+        ..CheckConfig::default()
+    };
+    let gen = |c: &mut Choices| {
+        let n = 1 + c.draw(24) as usize;
+        (0..n).map(|_| gen_route(c, false)).collect::<Vec<Route>>()
+    };
+    let prop = |routes: &Vec<Route>| {
+        let updates = routes_to_updates(routes);
+        let mut recovered: Vec<Route> = updates
+            .iter()
+            .flat_map(|u| update_to_routes(u).expect("valid update").announced)
+            .collect();
+        let mut expected = routes.clone();
+        // batching regroups by shared attributes; compare as multisets
+        recovered.sort_by_key(|r| (r.prefix, format!("{:?}", r.as_path)));
+        expected.sort_by_key(|r| (r.prefix, format!("{:?}", r.as_path)));
+        recovered == expected
+    };
+    if let Err(ce) = check(&config, gen, prop) {
+        panic!(
+            "batch of {} route(s) does not survive batching (shrunk over {} step(s)):\n  {:?}",
+            ce.value.len(),
+            ce.shrink_steps,
+            ce.value
+        );
+    }
+}
+
+/// The shrinking demonstration: force a failure on any route carrying a
+/// BLACKHOLE community and confirm the framework minimizes the whole
+/// route down to the single load-bearing draw.
+#[test]
+fn shrinking_minimizes_to_the_load_bearing_community() {
+    let config = CheckConfig {
+        seed: 0x5412,
+        iterations: 400,
+        max_shrink_attempts: 4_000,
+    };
+    let result = check(
+        &config,
+        |c| gen_route(c, false),
+        |r| !r.standard_communities.iter().any(|s| s.is_blackhole()),
+    );
+    let ce = result.expect_err("blackhole communities are reachable by the generator");
+    let route = &ce.value;
+    // everything incidental has shrunk away...
+    assert_eq!(
+        route.prefix.len(),
+        0,
+        "prefix length did not shrink: {route:?}"
+    );
+    assert!(route.large_communities.is_empty());
+    assert!(route.extended_communities.is_empty());
+    assert_eq!(route.med, None);
+    // ...leaving exactly one community: the one that fails the property
+    let standards = &route.standard_communities;
+    assert_eq!(
+        standards.len(),
+        1,
+        "community list did not shrink: {standards:?}"
+    );
+    assert!(standards[0].is_blackhole());
+    // and the counterexample replays
+    let mut replay = Choices::replay(ce.choices.clone());
+    assert_eq!(&gen_route(&mut replay, false), route);
+}

@@ -200,8 +200,25 @@ impl Series {
     }
 }
 
+/// A per-day observer/mutator for timeline generation: called once per
+/// day after the point is generated (and any outage applied), with the
+/// day index, the mutable point, and whether this generator injected an
+/// outage. The chaos harness uses it to superimpose fault-plan events —
+/// peer flaps, RIB churn — onto a series' ground truth.
+pub type DayHook<'a> = &'a mut dyn FnMut(u32, &mut SeriesPoint, bool);
+
 /// Generate the daily series for one (IXP, family).
 pub fn generate_series(ixp: IxpId, afi: Afi, config: &TimelineConfig) -> Series {
+    generate_series_with_hook(ixp, afi, config, &mut |_, _, _| {})
+}
+
+/// [`generate_series`] with a [`DayHook`] invoked on every generated day.
+pub fn generate_series_with_hook(
+    ixp: IxpId,
+    afi: Afi,
+    config: &TimelineConfig,
+    hook: DayHook<'_>,
+) -> Series {
     let a = anchors(ixp, afi);
     let mut rng =
         StdRng::seed_from_u64(config.seed ^ ((ixp as u64) << 8) ^ ((afi as u64) << 4) ^ 0xA5A5);
@@ -235,6 +252,7 @@ pub fn generate_series(ixp: IxpId, afi: Afi, config: &TimelineConfig) -> Series 
         };
         // a collection outage loses 30–65% of the data for the day, and
         // never on the final day (the headline snapshot must be clean)
+        let mut outage = false;
         if day + 1 < config.days && day > 0 && rng.random::<f64>() < config.outage_rate {
             let keep = 0.35 + rng.random::<f64>() * 0.35;
             p.members = (p.members as f64 * keep) as usize;
@@ -243,7 +261,9 @@ pub fn generate_series(ixp: IxpId, afi: Afi, config: &TimelineConfig) -> Series 
             p.communities = (p.communities as f64 * keep) as usize;
             outage_counter.inc();
             injected.push(day);
+            outage = true;
         }
+        hook(day, &mut p, outage);
         points_counter.inc();
         points.push(p);
     }
@@ -344,6 +364,26 @@ mod tests {
         let diff = (hi - lo) / lo;
         // paper: 14.40% for IX.br-SP-v4 routes
         assert!((0.08..0.22).contains(&diff), "diff {diff:.3}");
+    }
+
+    #[test]
+    fn day_hook_sees_every_day_and_can_mutate() {
+        let mut seen = Vec::new();
+        let s = generate_series_with_hook(
+            IxpId::Bcix,
+            Afi::Ipv4,
+            &TimelineConfig::default(),
+            &mut |day, p, outage| {
+                seen.push((day, outage));
+                if day == 3 {
+                    p.members += 1000;
+                }
+            },
+        );
+        assert_eq!(seen.len(), 84);
+        assert!(s.points[3].members >= 1000);
+        let hook_outages: Vec<u32> = seen.iter().filter(|(_, o)| *o).map(|(d, _)| *d).collect();
+        assert_eq!(hook_outages, s.injected_outages);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use bgp_model::prefix::Afi;
 use bgp_model::route::Route;
 
 use crate::api::{LgError, LgRequest, LgResponse};
+use crate::clock::{Clock, SystemClock, VirtualClock};
 use crate::snapshot::Snapshot;
 
 /// Anything that can carry LG requests (in-process or TCP).
@@ -44,6 +45,11 @@ pub struct CollectorConfig {
     pub max_retries: u32,
     /// Backoff after a failure or rate-limit response.
     pub retry_backoff_ms: u64,
+    /// Verify that a routes response echoes the requested page index and
+    /// retry on mismatch. Protects the dataset against duplicated or
+    /// out-of-order responses from an unstable LG; disable only to
+    /// demonstrate the resulting corruption (the chaos oracles catch it).
+    pub validate_pages: bool,
 }
 
 impl Default for CollectorConfig {
@@ -52,6 +58,7 @@ impl Default for CollectorConfig {
             request_interval_ms: 60, // ~16 req/s, under the default limit
             max_retries: 3,
             retry_backoff_ms: 500,
+            validate_pages: true,
         }
     }
 }
@@ -83,6 +90,10 @@ impl Collector {
 
     /// Collect one (IXP, family, day) snapshot through `transport`,
     /// starting the simulated clock at `start_ms`.
+    ///
+    /// Picks the clock from the transport: a [`VirtualClock`] for
+    /// in-process transports (no wait ever blocks), a [`SystemClock`]
+    /// when the far side paces against real time (TCP).
     pub fn collect<T: LgTransport>(
         &self,
         transport: &mut T,
@@ -90,7 +101,25 @@ impl Collector {
         day: u32,
         start_ms: u64,
     ) -> Result<CollectionReport, LgError> {
-        let mut clock = start_ms;
+        if transport.is_real_time() {
+            self.collect_with_clock(transport, afi, day, &SystemClock::starting_at(start_ms))
+        } else {
+            self.collect_with_clock(transport, afi, day, &VirtualClock::new(start_ms))
+        }
+    }
+
+    /// Collect one snapshot, with every wait (pacing, retry backoff)
+    /// routed through `clock`. Passing one shared [`VirtualClock`] makes
+    /// a whole campaign — collector pacing, retry backoff, the server's
+    /// rate-limiter buckets — advance on a single logical timeline.
+    pub fn collect_with_clock<T: LgTransport>(
+        &self,
+        transport: &mut T,
+        afi: Afi,
+        day: u32,
+        clock: &dyn Clock,
+    ) -> Result<CollectionReport, LgError> {
+        let start_ms = clock.now_ms();
         let mut requests = 0u64;
         let mut failures = 0u64;
 
@@ -98,7 +127,7 @@ impl Collector {
         let summary = self.request_with_retry(
             transport,
             &LgRequest::Summary { afi },
-            &mut clock,
+            clock,
             &mut requests,
             &mut failures,
         )?;
@@ -113,14 +142,8 @@ impl Collector {
             if m.accepted_routes == 0 {
                 continue; // session without routes: nothing to fetch
             }
-            match self.fetch_peer_routes(
-                transport,
-                m.asn,
-                afi,
-                &mut clock,
-                &mut requests,
-                &mut failures,
-            ) {
+            match self.fetch_peer_routes(transport, m.asn, afi, clock, &mut requests, &mut failures)
+            {
                 Ok(peer_routes) => {
                     routes.extend(peer_routes.into_iter().map(|r| (m.asn, r)));
                 }
@@ -135,7 +158,8 @@ impl Collector {
         } else {
             m.snapshots_complete.inc();
         }
-        m.collect_ms.record(clock - start_ms);
+        let duration_ms = clock.now_ms().saturating_sub(start_ms);
+        m.collect_ms.record(duration_ms);
         Ok(CollectionReport {
             snapshot: Snapshot {
                 ixp,
@@ -148,7 +172,7 @@ impl Collector {
             },
             requests,
             failures,
-            duration_ms: clock - start_ms,
+            duration_ms,
         })
     }
 
@@ -161,13 +185,13 @@ impl Collector {
         transport: &mut T,
         start_ms: u64,
     ) -> Result<Vec<community_dict::entry::DictionaryEntry>, LgError> {
-        let mut clock = start_ms;
+        let clock = VirtualClock::new(start_ms);
         let mut requests = 0;
         let mut failures = 0;
         let resp = self.request_with_retry(
             transport,
             &LgRequest::RsConfigText,
-            &mut clock,
+            &clock,
             &mut requests,
             &mut failures,
         )?;
@@ -183,12 +207,13 @@ impl Collector {
         transport: &mut T,
         peer: Asn,
         afi: Afi,
-        clock: &mut u64,
+        clock: &dyn Clock,
         requests: &mut u64,
         failures: &mut u64,
     ) -> Result<Vec<Route>, LgError> {
         let mut out = Vec::new();
         let mut page = 0usize;
+        let mut echo_retries = 0u32;
         loop {
             let resp = self.request_with_retry(
                 transport,
@@ -204,12 +229,29 @@ impl Collector {
             )?;
             let LgResponse::Routes {
                 routes,
+                page: served,
                 total_pages,
-                ..
             } = resp
             else {
                 return Err(LgError::Transport("routes: wrong response type".into()));
             };
+            if self.config.validate_pages && served != page {
+                // A duplicated or reordered response slipped through: drop
+                // it and ask again for the page we actually wanted, within
+                // the same bounded retry budget as transport failures.
+                *failures += 1;
+                crate::metrics::handles().client_retries.inc();
+                echo_retries += 1;
+                if echo_retries > self.config.max_retries {
+                    return Err(LgError::Transport(format!(
+                        "routes: page echo mismatch for AS{} (asked {page}, got {served})",
+                        peer.0
+                    )));
+                }
+                clock.sleep_ms(self.config.retry_backoff_ms);
+                continue;
+            }
+            echo_retries = 0;
             out.extend(routes);
             page += 1;
             if page >= total_pages {
@@ -222,30 +264,22 @@ impl Collector {
         &self,
         transport: &mut T,
         req: &LgRequest,
-        clock: &mut u64,
+        clock: &dyn Clock,
         requests: &mut u64,
         failures: &mut u64,
     ) -> Result<LgResponse, LgError> {
-        let real_time = transport.is_real_time();
-        let pace = |ms: u64| {
-            if real_time {
-                std::thread::sleep(std::time::Duration::from_millis(ms));
-            }
-        };
         let mut last_err = LgError::ServerError;
         for _attempt in 0..=self.config.max_retries {
-            pace(self.config.request_interval_ms);
-            *clock += self.config.request_interval_ms;
+            clock.sleep_ms(self.config.request_interval_ms);
             *requests += 1;
             let m = crate::metrics::handles();
             m.client_requests.inc();
-            match transport.request(req, *clock) {
+            match transport.request(req, clock.now_ms()) {
                 Ok(resp) => return Ok(resp),
                 Err(e @ (LgError::RateLimited | LgError::ServerError | LgError::Transport(_))) => {
                     *failures += 1;
                     m.client_retries.inc();
-                    pace(self.config.retry_backoff_ms);
-                    *clock += self.config.retry_backoff_ms;
+                    clock.sleep_ms(self.config.retry_backoff_ms);
                     last_err = e;
                 }
                 Err(e) => return Err(e), // UnknownPeer / PageOutOfRange: no point retrying

@@ -38,6 +38,7 @@
 
 pub mod api;
 pub mod client;
+pub mod clock;
 pub mod dataset;
 mod metrics;
 pub mod sanitize;
@@ -49,6 +50,7 @@ pub mod transport;
 pub mod prelude {
     pub use crate::api::{LgError, LgRequest, LgResponse, MemberSummary};
     pub use crate::client::{CollectionReport, Collector, CollectorConfig, LgTransport};
+    pub use crate::clock::{Clock, SystemClock, VirtualClock};
     pub use crate::dataset::{export as export_dataset, import as import_dataset, DatasetIndex};
     pub use crate::sanitize::{sanitize_store, SanitationReport, SanitizeConfig, SeriesPoint};
     pub use crate::server::{FailureModel, LgServer, RateLimiter};

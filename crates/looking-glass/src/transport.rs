@@ -6,7 +6,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -19,6 +19,7 @@ use crate::server::LgServer;
 pub struct TcpLgServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    live_workers: Arc<AtomicUsize>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -32,14 +33,29 @@ impl TcpLgServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let live_workers = Arc::new(AtomicUsize::new(0));
+        let live2 = Arc::clone(&live_workers);
         let handle = std::thread::spawn(move || {
             let start = Instant::now();
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
             while !stop2.load(Ordering::Relaxed) {
+                // Reap workers whose connection already closed, so a
+                // long campaign of reconnecting clients does not grow
+                // `workers` (and its parked threads) without bound.
+                let mut i = 0;
+                while i < workers.len() {
+                    if workers[i].is_finished() {
+                        let _ = workers.swap_remove(i).join();
+                        live2.fetch_sub(1, Ordering::Relaxed);
+                    } else {
+                        i += 1;
+                    }
+                }
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let lg = Arc::clone(&lg);
                         let stop = Arc::clone(&stop2);
+                        live2.fetch_add(1, Ordering::Relaxed);
                         workers.push(std::thread::spawn(move || {
                             let _ = serve_connection(&lg, stream, start, &stop);
                         }));
@@ -54,11 +70,13 @@ impl TcpLgServer {
             // here cannot deadlock even with clients still connected
             for w in workers {
                 let _ = w.join();
+                live2.fetch_sub(1, Ordering::Relaxed);
             }
         });
         Ok(TcpLgServer {
             addr,
             stop,
+            live_workers,
             handle: Some(handle),
         })
     }
@@ -66,6 +84,12 @@ impl TcpLgServer {
     /// The bound address to connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Worker threads not yet reaped by the accept loop (closed
+    /// connections are reclaimed on the next accept-loop pass).
+    pub fn live_workers(&self) -> usize {
+        self.live_workers.load(Ordering::Relaxed)
     }
 
     /// Stop accepting and join the acceptor thread.
@@ -246,6 +270,30 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         let result: Result<LgResponse, LgError> = serde_json::from_str(&line).unwrap();
         assert!(matches!(result, Err(LgError::Transport(_))));
+        server.stop();
+    }
+
+    #[test]
+    fn finished_workers_are_reaped_during_accept_loop() {
+        let server = TcpLgServer::spawn(lg()).unwrap();
+        for _ in 0..8 {
+            let mut client = TcpLgClient::connect(server.addr()).unwrap();
+            assert!(client
+                .request(&LgRequest::Summary { afi: Afi::Ipv4 }, 0)
+                .is_ok());
+            drop(client); // connection closes; its worker thread exits
+        }
+        // The accept loop reaps on its next pass (it wakes every ~5ms on
+        // WouldBlock); give it a few passes, then all eight must be gone.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.live_workers() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.live_workers(),
+            0,
+            "closed connections' workers were never reaped"
+        );
         server.stop();
     }
 

@@ -111,6 +111,29 @@ pub const SIM_SNAPSHOTS_COLLECTED: &str = "sim.snapshots_collected";
 /// Collection attempts that failed entirely.
 pub const SIM_COLLECTIONS_FAILED: &str = "sim.collections_failed";
 
+// --- chaos: deterministic simulation testing ---
+
+/// Chaotic campaigns run to completion (any verdict).
+pub const CHAOS_CAMPAIGNS: &str = "chaos.campaigns";
+/// Span: one chaotic campaign (collect → sanitize → analyze → oracles).
+pub const CHAOS_CAMPAIGN: &str = "chaos.campaign";
+/// Faults injected across all campaigns (all classes).
+pub const CHAOS_FAULTS_INJECTED: &str = "chaos.faults_injected";
+/// Invariant-oracle violations detected.
+pub const CHAOS_ORACLE_VIOLATIONS: &str = "chaos.oracle_violations";
+/// Logical milliseconds elapsed on a campaign's virtual clock.
+pub const CHAOS_VIRTUAL_MS: &str = "chaos.virtual_ms";
+
+/// Per-fault-class injection counter: `chaos.faults_injected.<class>`.
+pub fn chaos_fault(class: &str) -> String {
+    format!("{CHAOS_FAULTS_INJECTED}.{class}")
+}
+
+/// Per-seed campaign span: `chaos.seed.<n>`.
+pub fn chaos_seed_span(seed: u64) -> String {
+    format!("chaos.seed.{seed}")
+}
+
 // --- repro binary ---
 
 /// Span: build the world inside `repro`.
@@ -164,13 +187,23 @@ pub const ALL: &[&str] = &[
     SIM_OUTAGE_DAYS,
     SIM_SNAPSHOTS_COLLECTED,
     SIM_COLLECTIONS_FAILED,
+    CHAOS_CAMPAIGNS,
+    CHAOS_CAMPAIGN,
+    CHAOS_FAULTS_INJECTED,
+    CHAOS_ORACLE_VIOLATIONS,
+    CHAOS_VIRTUAL_MS,
     REPRO_BUILD_WORLD,
     REPRO_CHECK,
 ];
 
 /// Dynamic name-family prefixes (everything minted at runtime starts with
 /// one of these followed by a `.`-separated suffix).
-pub const DYNAMIC_PREFIXES: &[&str] = &[RS_ROUTES_FILTERED, "repro"];
+pub const DYNAMIC_PREFIXES: &[&str] = &[
+    RS_ROUTES_FILTERED,
+    "repro",
+    CHAOS_FAULTS_INJECTED,
+    "chaos.seed",
+];
 
 /// True when `name` is registered: either a static [`ALL`] entry or an
 /// extension of a [`DYNAMIC_PREFIXES`] family.
@@ -212,6 +245,8 @@ mod tests {
         assert!(is_registered(RS_INGEST_UPDATE));
         assert!(is_registered(&rs_routes_filtered_reason("bogon_prefix")));
         assert!(is_registered(&repro_stage("fig4a")));
+        assert!(is_registered(&chaos_fault("drop")));
+        assert!(is_registered(&chaos_seed_span(17)));
         // the aggregate itself is a static name...
         assert!(is_registered("rs.routes_filtered"));
         // ...but a bare dynamic prefix or an unknown family is not

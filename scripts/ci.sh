@@ -22,6 +22,16 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# Deterministic fault-injection suite over the full seed corpus. Debug
+# test runs above already cover a reduced corpus; this stage pins the
+# release binary to the fixed 32-seed corpus (override with CHAOS_SEEDS=N).
+# On failure the suite prints a CHAOS_REPLAY='{"seed":...,"plan":...}'
+# command that replays the exact failing (seed, fault plan) pair.
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> chaos (32-seed fault-injection corpus, release)"
+    CHAOS_SEEDS="${CHAOS_SEEDS:-32}" cargo test -q -p chaos --release
+fi
+
 echo "==> staticheck (policy verifier + workspace lints)"
 cargo run -q -p staticheck -- all
 
