@@ -1,6 +1,7 @@
 //! Shared iteration and counting primitives used by every analysis.
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 
 use bgp_model::asn::Asn;
 use bgp_model::community::StandardCommunity;
@@ -18,6 +19,12 @@ pub struct View<'a> {
     /// The IXP's community dictionary.
     pub dict: &'a Dictionary,
     members: BTreeSet<Asn>,
+    /// Classification memo: community value → classification. Distinct
+    /// values repeat across millions of instances (the corpus has ~3k of
+    /// them), so each pays the dictionary lookup once per view. Interior
+    /// mutability keeps the analysis API `&self`; a `View` lives inside
+    /// one `par` task, so the `RefCell` never crosses threads.
+    memo: RefCell<HashMap<u32, Classification>>,
 }
 
 impl<'a> View<'a> {
@@ -28,7 +35,19 @@ impl<'a> View<'a> {
             snap,
             dict,
             members: snap.members.iter().copied().collect(),
+            memo: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Classify a standard community against the dictionary, memoized
+    /// per distinct community value.
+    pub fn classify(&self, c: StandardCommunity) -> Classification {
+        if let Some(cl) = self.memo.borrow().get(&c.0) {
+            return *cl;
+        }
+        let cl = self.dict.classify(c);
+        self.memo.borrow_mut().insert(c.0, cl);
+        cl
     }
 
     /// Is `asn` connected to the RS (the §5.5 membership test)?
@@ -56,7 +75,7 @@ impl<'a> View<'a> {
             route
                 .standard_communities
                 .iter()
-                .map(move |c| (asn, route, *c, self.dict.classify(*c)))
+                .map(move |c| (asn, route, *c, self.classify(*c)))
         })
     }
 

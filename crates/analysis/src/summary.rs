@@ -70,38 +70,45 @@ pub struct FullReport {
 /// present.
 pub fn full_report(store: &SnapshotStore, dicts: &[(IxpId, Dictionary)]) -> FullReport {
     let mut report = FullReport::default();
+    // Fan out per (IXP, family) snapshot: each task builds its own View
+    // (with its own classification memo) and computes every figure and
+    // table for it. The ordered join keeps `report.snapshots` in the
+    // same (dict order × family) order as the serial loop.
+    let units: Vec<(usize, Afi)> = (0..dicts.len())
+        .flat_map(|i| [(i, Afi::Ipv4), (i, Afi::Ipv6)])
+        .collect();
+    let computed = par::map_indexed(&units, |_, &(i, afi)| {
+        let (ixp, dict) = &dicts[i];
+        let snap = store.latest(*ixp, afi)?;
+        let view = View::new(snap, dict);
+        let b = fig4b(&view);
+        let c = fig4c(&view);
+        Some(SnapshotReport {
+            ixp: *ixp,
+            afi,
+            day: snap.day,
+            fig1: fig1(&view),
+            fig2: fig2(&view),
+            fig3: fig3(&view),
+            fig4a: fig4a(&view),
+            fig4b_top1pct: b.share_of_top(0.01),
+            fig4b_top10pct: b.share_of_top(0.10),
+            fig4c_log_correlation: c.log_correlation(),
+            fig4c_asymmetry: c.asymmetry(),
+            table2: table2(&view),
+            type_counts: type_counts(&view),
+            fig5: fig5(&view),
+            fig6: fig6(&view),
+            ineffective: ineffective(&view),
+            fig7: fig7(&view, 10),
+        })
+    });
     let mut v4_views: Vec<(IxpId, Afi, u32)> = Vec::new();
-    for (ixp, dict) in dicts {
-        for afi in [Afi::Ipv4, Afi::Ipv6] {
-            let Some(snap) = store.latest(*ixp, afi) else {
-                continue;
-            };
-            let view = View::new(snap, dict);
-            let b = fig4b(&view);
-            let c = fig4c(&view);
-            report.snapshots.push(SnapshotReport {
-                ixp: *ixp,
-                afi,
-                day: snap.day,
-                fig1: fig1(&view),
-                fig2: fig2(&view),
-                fig3: fig3(&view),
-                fig4a: fig4a(&view),
-                fig4b_top1pct: b.share_of_top(0.01),
-                fig4b_top10pct: b.share_of_top(0.10),
-                fig4c_log_correlation: c.log_correlation(),
-                fig4c_asymmetry: c.asymmetry(),
-                table2: table2(&view),
-                type_counts: type_counts(&view),
-                fig5: fig5(&view),
-                fig6: fig6(&view),
-                ineffective: ineffective(&view),
-                fig7: fig7(&view, 10),
-            });
-            if afi == Afi::Ipv4 {
-                v4_views.push((*ixp, afi, snap.day));
-            }
+    for snapshot in computed.into_iter().flatten() {
+        if snapshot.afi == Afi::Ipv4 {
+            v4_views.push((snapshot.ixp, snapshot.afi, snapshot.day));
         }
+        report.snapshots.push(snapshot);
     }
     // overlap needs simultaneous borrows; rebuild the views
     let views: Vec<View<'_>> = v4_views

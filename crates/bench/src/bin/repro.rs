@@ -159,8 +159,9 @@ fn main() {
     // (the overlap analysis also needs the world)
     let ctx = if needs_world {
         eprintln!(
-            "building world (scale {scale}, seed {seed}, {} IXPs)...",
-            ixps.len()
+            "building world (scale {scale}, seed {seed}, {} IXPs, {} worker thread(s))...",
+            ixps.len(),
+            par::threads()
         );
         let (store, dicts) = {
             let _stage = registry.histogram(obs::names::REPRO_BUILD_WORLD).start();
@@ -977,46 +978,41 @@ fn run_overlap(ctx: &Ctx) {
 fn run_chaos(master_seed: u64) {
     use chaos::prelude::*;
 
-    let registry = obs::global();
     let seeds: u64 = std::env::var("CHAOS_SEEDS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
     let cfg = CampaignConfig::default();
     println!(
-        "chaos: {seeds} seed(s), {} days over {:?} at scale {}",
-        cfg.days, cfg.ixp, cfg.scale
+        "chaos: {seeds} seed(s), {} days over {:?} at scale {}, {} worker thread(s)",
+        cfg.days,
+        cfg.ixp,
+        cfg.scale,
+        par::threads()
     );
 
+    // Seeds fan out over the par pool (each campaign triple is fully
+    // self-contained); the ordered join reports them in seed order, so
+    // the output is identical to the old serial loop.
+    let outcomes = chaos::corpus::run_corpus(master_seed, seeds, &cfg);
     let mut failed = 0u64;
-    for i in 0..seeds {
-        let seed = master_seed.wrapping_add(i);
-        let _span = registry
-            .histogram(&obs::names::chaos_seed_span(seed))
-            .start();
-        let plan = FaultPlan::from_seed(seed, cfg.days);
-        let baseline = run_campaign(seed, &FaultPlan::none(), &cfg);
-        let faulted = run_campaign(seed, &plan, &cfg);
-        let mut violations = check_campaign(&faulted, &baseline, &plan, &cfg);
-        let rerun = run_campaign(seed, &plan, &cfg);
-        if let Some(v) = check_determinism(&faulted, &rerun) {
-            violations.push(v);
-        }
+    for o in &outcomes {
         println!(
-            "  seed {seed:#x}: {} fault(s) injected, {} violation(s), dataset {:016x}",
-            faulted.stats.total_faults(),
-            violations.len(),
-            faulted.dataset_hash
+            "  seed {:#x}: {} fault(s) injected, {} violation(s), dataset {:016x}",
+            o.seed,
+            o.faults,
+            o.violations.len(),
+            o.dataset_hash
         );
-        if !violations.is_empty() {
+        if !o.violations.is_empty() {
             failed += 1;
-            for v in &violations {
+            for v in &o.violations {
                 println!("    violation: {v}");
             }
             println!(
-                "    replay: CHAOS_REPLAY='{{\"seed\":{seed},\"plan\":{}}}' \
+                "    replay: CHAOS_REPLAY='{{\"seed\":{},\"plan\":{}}}' \
                  cargo test -p chaos --test chaos_suite replay_from_env -- --nocapture --ignored",
-                plan.to_json()
+                o.seed, o.plan_json
             );
         }
     }

@@ -7,6 +7,7 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -17,9 +18,14 @@ use crate::route::Route;
 /// A per-peer route table keyed by prefix. One route per prefix per peer
 /// (BGP semantics: a later announcement for the same NLRI replaces the
 /// earlier one; an explicit withdraw removes it).
+///
+/// Routes are stored behind `Arc` so the export path can share an
+/// unmodified route with every eligible peer instead of deep-cloning it
+/// per (route, peer) pair; the table's own API still hands out `&Route`
+/// unless a caller explicitly asks for the shared handle.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PeerRib {
-    routes: BTreeMap<Prefix, Route>,
+    routes: BTreeMap<Prefix, Arc<Route>>,
 }
 
 impl PeerRib {
@@ -29,18 +35,27 @@ impl PeerRib {
     }
 
     /// Insert or replace the route for its prefix. Returns the replaced
-    /// route, if any (implicit withdraw).
-    pub fn announce(&mut self, route: Route) -> Option<Route> {
+    /// route, if any (implicit withdraw). Accepts an owned [`Route`] or
+    /// an already-shared `Arc<Route>` (re-announcing an exported route
+    /// costs no copy).
+    pub fn announce(&mut self, route: impl Into<Arc<Route>>) -> Option<Arc<Route>> {
+        let route = route.into();
         self.routes.insert(route.prefix, route)
     }
 
     /// Remove the route for `prefix`. Returns it if present.
-    pub fn withdraw(&mut self, prefix: &Prefix) -> Option<Route> {
+    pub fn withdraw(&mut self, prefix: &Prefix) -> Option<Arc<Route>> {
         self.routes.remove(prefix)
     }
 
     /// Route for an exact prefix.
     pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
+        self.routes.get(prefix).map(Arc::as_ref)
+    }
+
+    /// Shared handle to the route for an exact prefix (for callers that
+    /// want to keep or re-export the route without copying it).
+    pub fn get_shared(&self, prefix: &Prefix) -> Option<&Arc<Route>> {
         self.routes.get(prefix)
     }
 
@@ -56,18 +71,22 @@ impl PeerRib {
 
     /// Iterate routes in prefix order.
     pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values().map(Arc::as_ref)
+    }
+
+    /// Iterate shared route handles in prefix order.
+    pub fn iter_shared(&self) -> impl Iterator<Item = &Arc<Route>> {
         self.routes.values()
     }
 
     /// Routes of one address family.
     pub fn iter_afi(&self, afi: Afi) -> impl Iterator<Item = &Route> + '_ {
-        self.routes.values().filter(move |r| r.afi() == afi)
+        self.iter().filter(move |r| r.afi() == afi)
     }
 
     /// Longest-prefix match for a host address.
     pub fn longest_match(&self, addr: std::net::IpAddr) -> Option<&Route> {
-        self.routes
-            .values()
+        self.iter()
             .filter(|r| r.prefix.contains_addr(addr))
             .max_by_key(|r| r.prefix.len())
     }
@@ -87,12 +106,12 @@ impl AdjRibIn {
 
     /// Announce a route from `peer` (inserting the peer on first use).
     /// Returns the replaced route, if any.
-    pub fn announce(&mut self, peer: Asn, route: Route) -> Option<Route> {
+    pub fn announce(&mut self, peer: Asn, route: impl Into<Arc<Route>>) -> Option<Arc<Route>> {
         self.tables.entry(peer).or_default().announce(route)
     }
 
     /// Withdraw `prefix` from `peer`.
-    pub fn withdraw(&mut self, peer: Asn, prefix: &Prefix) -> Option<Route> {
+    pub fn withdraw(&mut self, peer: Asn, prefix: &Prefix) -> Option<Arc<Route>> {
         match self.tables.entry(peer) {
             Entry::Occupied(mut e) => e.get_mut().withdraw(prefix),
             Entry::Vacant(_) => None,

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod corpus;
 pub mod inject;
 mod metrics;
 pub mod oracle;
@@ -50,6 +51,7 @@ pub mod prelude {
         dataset_hash, run_campaign, CampaignConfig, CampaignOutcome, DayRecord, DAY_BUDGET_MS,
         DAY_MS,
     };
+    pub use crate::corpus::{run_corpus, SeedOutcome};
     pub use crate::inject::{ChaosTransport, InjectStats};
     pub use crate::oracle::{check_campaign, check_determinism, Violation};
     pub use crate::plan::{FaultClass, FaultPlan};

@@ -56,12 +56,16 @@ pub fn run(config: &ScenarioConfig) -> Scenario {
         let _span = obs::span!(obs::names::SIM_BUILD_WORLD);
         build_world(&config.ixps, &config.world)
     };
-    let mut store = SnapshotStore::new();
     let collector = Collector::new(CollectorConfig::default());
     let snapshots_collected = registry.counter(obs::names::SIM_SNAPSHOTS_COLLECTED);
     let collections_failed = registry.counter(obs::names::SIM_COLLECTIONS_FAILED);
-    let mut out = Vec::with_capacity(worlds.len());
-    for world in worlds {
+    // Fan out per IXP: each task owns its LG (rate-limiter state and all)
+    // and runs both families against it sequentially, exactly like the
+    // serial loop did. Virtual start times and LG seeds are derived from
+    // (ixp, afi), not from wall time or scheduling, and the ordered join
+    // merges snapshots in IXP order — the store is identical for any
+    // `PAR_THREADS`.
+    let results = par::map_indexed(&worlds, |_, world| {
         let ixp = world.ixp;
         let _ixp_span = obs::span!(obs::names::SIM_COLLECT_IXP);
         let rs = Arc::new(RwLock::new(world.rs.clone()));
@@ -70,16 +74,27 @@ pub fn run(config: &ScenarioConfig) -> Scenario {
             config.world.seed ^ (ixp as u64),
         ));
         lg.set_failures(config.failures.clone());
+        let mut snaps = Vec::with_capacity(2);
+        let mut failed = 0u64;
         for afi in [Afi::Ipv4, Afi::Ipv6] {
             let mut transport = &*lg;
             // start each collection far enough apart that the bucket refills
             let start = (ixp as u64) * 100_000_000 + (afi as u64) * 50_000_000;
             if let Ok(report) = collector.collect(&mut transport, afi, config.day, start) {
-                snapshots_collected.inc();
-                store.insert(report.snapshot);
+                snaps.push(report.snapshot);
             } else {
-                collections_failed.inc();
+                failed += 1;
             }
+        }
+        (lg, snaps, failed)
+    });
+    let mut store = SnapshotStore::new();
+    let mut out = Vec::with_capacity(worlds.len());
+    for (world, (lg, snaps, failed)) in worlds.into_iter().zip(results) {
+        snapshots_collected.add(snaps.len() as u64);
+        collections_failed.add(failed);
+        for snapshot in snaps {
+            store.insert(snapshot);
         }
         out.push((world, lg));
     }

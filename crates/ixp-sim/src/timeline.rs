@@ -276,14 +276,16 @@ pub fn generate_series_with_hook(
 }
 
 /// Generate all 16 series (8 IXPs × 2 families).
+///
+/// Each (ixp, afi) series derives its own RNG stream from the config
+/// seed, so they fan out onto the `par` pool; the ordered join keeps the
+/// output order (and content) identical to the serial loop.
 pub fn generate_all(config: &TimelineConfig) -> Vec<Series> {
-    let mut out = Vec::with_capacity(16);
-    for ixp in IxpId::ALL {
-        for afi in [Afi::Ipv4, Afi::Ipv6] {
-            out.push(generate_series(ixp, afi, config));
-        }
-    }
-    out
+    let units: Vec<(IxpId, Afi)> = IxpId::ALL
+        .iter()
+        .flat_map(|&ixp| [(ixp, Afi::Ipv4), (ixp, Afi::Ipv6)])
+        .collect();
+    par::map_indexed(&units, |_, &(ixp, afi)| generate_series(ixp, afi, config))
 }
 
 #[cfg(test)]

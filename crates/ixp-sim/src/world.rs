@@ -303,7 +303,9 @@ fn synthesize_route(
 
 /// Build all requested IXPs.
 pub fn build_world(ixps: &[IxpId], config: &WorldConfig) -> Vec<IxpWorld> {
-    ixps.iter().map(|ixp| build_ixp(*ixp, config)).collect()
+    // Each IXP derives its own RNG stream from the seed, so worlds build
+    // in parallel with an ordered join — same Vec as the serial loop.
+    par::map_indexed(ixps, |_, ixp| build_ixp(*ixp, config))
 }
 
 #[cfg(test)]

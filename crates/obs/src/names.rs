@@ -53,6 +53,10 @@ pub const RS_INEFFECTIVE_ACTION_INSTANCES: &str = "rs.ineffective_action_instanc
 pub const RS_EXPORT_EVALUATIONS: &str = "rs.export_evaluations";
 /// Communities removed by scrubbing on export.
 pub const RS_SCRUBBED_COMMUNITIES: &str = "rs.scrubbed_communities";
+/// Exports that shared the stored route (no mutation, no copy).
+pub const RS_EXPORT_ROUTES_SHARED: &str = "rs.export_routes_shared";
+/// Exports that copied the route because prepend/scrub mutated it.
+pub const RS_EXPORT_ROUTES_COPIED: &str = "rs.export_routes_copied";
 /// Member sessions currently registered.
 pub const RS_MEMBERS: &str = "rs.members";
 /// Ingest latency histogram / span.
@@ -134,6 +138,17 @@ pub fn chaos_seed_span(seed: u64) -> String {
     format!("chaos.seed.{seed}")
 }
 
+// --- par: deterministic parallel executor ---
+
+/// Tasks executed by `par::map_indexed` (serial fallback included).
+pub const PAR_TASKS: &str = "par.tasks";
+/// Tasks a worker claimed from another worker's block.
+pub const PAR_STEALS: &str = "par.steals";
+/// Tasks not yet completed in the current `map_indexed` call.
+pub const PAR_QUEUE_DEPTH: &str = "par.queue_depth";
+/// Per-task wall time, nanoseconds.
+pub const PAR_TASK_NS: &str = "par.task_ns";
+
 // --- repro binary ---
 
 /// Span: build the world inside `repro`.
@@ -164,6 +179,8 @@ pub const ALL: &[&str] = &[
     RS_INEFFECTIVE_ACTION_INSTANCES,
     RS_EXPORT_EVALUATIONS,
     RS_SCRUBBED_COMMUNITIES,
+    RS_EXPORT_ROUTES_SHARED,
+    RS_EXPORT_ROUTES_COPIED,
     RS_MEMBERS,
     RS_INGEST_UPDATE,
     LG_REQUESTS,
@@ -192,6 +209,10 @@ pub const ALL: &[&str] = &[
     CHAOS_FAULTS_INJECTED,
     CHAOS_ORACLE_VIOLATIONS,
     CHAOS_VIRTUAL_MS,
+    PAR_TASKS,
+    PAR_STEALS,
+    PAR_QUEUE_DEPTH,
+    PAR_TASK_NS,
     REPRO_BUILD_WORLD,
     REPRO_CHECK,
 ];

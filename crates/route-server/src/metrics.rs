@@ -73,6 +73,8 @@ pub(crate) struct RsMetrics {
     pub ineffective_action_instances: Counter,
     pub export_evaluations: Counter,
     pub scrubbed_communities: Counter,
+    pub export_routes_shared: Counter,
+    pub export_routes_copied: Counter,
     pub members: Gauge,
     pub ingest_ns: Histogram,
     filtered: Vec<Counter>,
@@ -90,6 +92,8 @@ impl RsMetrics {
             ineffective_action_instances: registry.counter(names::RS_INEFFECTIVE_ACTION_INSTANCES),
             export_evaluations: registry.counter(names::RS_EXPORT_EVALUATIONS),
             scrubbed_communities: registry.counter(names::RS_SCRUBBED_COMMUNITIES),
+            export_routes_shared: registry.counter(names::RS_EXPORT_ROUTES_SHARED),
+            export_routes_copied: registry.counter(names::RS_EXPORT_ROUTES_COPIED),
             members: registry.gauge(names::RS_MEMBERS),
             ingest_ns: registry.histogram(names::RS_INGEST_UPDATE),
             filtered: ALL_REASONS

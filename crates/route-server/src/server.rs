@@ -7,6 +7,7 @@
 //! action semantics applied and communities scrubbed.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -337,19 +338,27 @@ impl RouteServer {
     /// Compute the export RIB towards one peer: every other member's
     /// accepted routes, with action semantics applied (deny / allow /
     /// prepend), blackhole next hops preserved, and communities scrubbed.
-    pub fn export_to(&mut self, peer: Asn) -> Vec<Route> {
+    ///
+    /// Routes the policy does not mutate (no prepend, scrub is a no-op)
+    /// are **shared** with the RIB's stored copy — the returned
+    /// `Arc<Route>` points at the same allocation, so exporting the full
+    /// table to every peer costs one `Arc` bump per (route, peer) pair
+    /// instead of a deep `Route` clone. Only routes a prepend or scrub
+    /// actually changes are copied (copy-on-write); the
+    /// `export_routes_shared` / `export_routes_copied` stats count the
+    /// two paths.
+    pub fn export_to(&mut self, peer: Asn) -> Vec<Arc<Route>> {
         let Some(member) = self.members.get(&peer).copied() else {
             return Vec::new();
         };
         let mut out = Vec::new();
+        let default_policy = RoutePolicy::default();
         let announcers: Vec<Asn> = self.rib.peers().filter(|a| *a != peer).collect();
         for announcer in announcers {
-            let routes: Vec<Route> = self
-                .rib
-                .peer(announcer)
-                .map(|t| t.iter().cloned().collect())
-                .unwrap_or_default();
-            for route in routes {
+            let Some(table) = self.rib.peer(announcer) else {
+                continue;
+            };
+            for route in table.iter_shared() {
                 if !member.has_session(route.afi()) {
                     continue;
                 }
@@ -358,18 +367,29 @@ impl RouteServer {
                 let policy = self
                     .policies
                     .get(&(announcer, route.prefix))
-                    .cloned()
-                    .unwrap_or_default();
-                let decision = policy.decide(peer);
-                let crate::policy::ExportDecision::Allow { prepend } = decision else {
+                    .unwrap_or(&default_policy);
+                let crate::policy::ExportDecision::Allow { prepend } = policy.decide(peer) else {
                     continue;
                 };
-                let mut exported = route.clone();
-                if prepend > 0 {
-                    exported.as_path = exported.as_path.prepend(announcer, prepend as usize);
+                if prepend == 0
+                    && !scrub_would_modify(&self.config, &self.dict, route, policy.blackhole)
+                {
+                    self.stats.export_routes_shared += 1;
+                    self.metrics.export_routes_shared.inc();
+                    out.push(Arc::clone(route));
+                } else {
+                    let mut exported = Route::clone(route);
+                    if prepend > 0 {
+                        exported.as_path = exported.as_path.prepend(announcer, prepend as usize);
+                    }
+                    let scrubbed =
+                        scrub_route(&self.config, &self.dict, &mut exported, policy.blackhole);
+                    self.stats.scrubbed_communities += scrubbed;
+                    self.metrics.scrubbed_communities.add(scrubbed);
+                    self.stats.export_routes_copied += 1;
+                    self.metrics.export_routes_copied.inc();
+                    out.push(Arc::new(exported));
                 }
-                self.scrub(&mut exported, policy.blackhole);
-                out.push(exported);
             }
         }
         out
@@ -381,9 +401,10 @@ impl RouteServer {
     /// approach of §2.3.2.2) avoids the path-hiding problem: if the best
     /// path is blocked towards this peer by a do-not-announce community,
     /// the next-best eligible path is exported instead of nothing.
-    pub fn export_best_to(&mut self, peer: Asn) -> Vec<Route> {
+    pub fn export_best_to(&mut self, peer: Asn) -> Vec<Arc<Route>> {
         let candidates = self.export_to(peer);
-        let mut best: std::collections::BTreeMap<Prefix, Route> = std::collections::BTreeMap::new();
+        let mut best: std::collections::BTreeMap<Prefix, Arc<Route>> =
+            std::collections::BTreeMap::new();
         for route in candidates {
             match best.entry(route.prefix) {
                 std::collections::btree_map::Entry::Vacant(e) => {
@@ -398,42 +419,71 @@ impl RouteServer {
         }
         best.into_values().collect()
     }
+}
 
-    fn scrub(&mut self, route: &mut Route, is_blackhole: bool) {
-        match self.config.scrub {
-            ScrubPolicy::None => {}
-            ScrubPolicy::All => {
-                self.stats.scrubbed_communities += route.community_count() as u64;
-                self.metrics
-                    .scrubbed_communities
-                    .add(route.community_count() as u64);
-                route.scrub_communities();
-                if is_blackhole {
-                    // peers still need the RFC 7999 signal
-                    route.standard_communities.push(well_known::BLACKHOLE);
-                }
+/// Would [`scrub_route`] change this route at all? The export fast path
+/// shares the stored route when this is false, so the predicate must
+/// match `scrub_route`'s retain logic exactly.
+fn scrub_would_modify(
+    config: &RsConfig,
+    dict: &Dictionary,
+    route: &Route,
+    is_blackhole: bool,
+) -> bool {
+    match config.scrub {
+        ScrubPolicy::None => false,
+        // Scrubbing everything is a change whenever there is anything to
+        // drop; re-adding the RFC 7999 signal is also a change when the
+        // route had no communities at all.
+        ScrubPolicy::All => route.community_count() > 0 || is_blackhole,
+        ScrubPolicy::ActionsOnly => {
+            let ixp = config.ixp;
+            route.standard_communities.iter().any(|c| {
+                !((is_blackhole && c.is_blackhole()) || dict.classify(*c).action().is_none())
+            }) || route.large_communities.iter().any(|c| {
+                community_dict::classify::classify_large(ixp, *c)
+                    .action()
+                    .is_some()
+            }) || route.extended_communities.iter().any(|c| {
+                community_dict::classify::classify_extended(ixp, *c)
+                    .action()
+                    .is_some()
+            })
+        }
+    }
+}
+
+/// Scrub `route`'s communities per the config policy, returning how many
+/// community instances were removed.
+fn scrub_route(config: &RsConfig, dict: &Dictionary, route: &mut Route, is_blackhole: bool) -> u64 {
+    match config.scrub {
+        ScrubPolicy::None => 0,
+        ScrubPolicy::All => {
+            let scrubbed = route.community_count() as u64;
+            route.scrub_communities();
+            if is_blackhole {
+                // peers still need the RFC 7999 signal
+                route.standard_communities.push(well_known::BLACKHOLE);
             }
-            ScrubPolicy::ActionsOnly => {
-                let dict = &self.dict;
-                let before = route.community_count();
-                route.standard_communities.retain(|c| {
-                    (is_blackhole && c.is_blackhole()) || dict.classify(*c).action().is_none()
-                });
-                let ixp = self.config.ixp;
-                route.large_communities.retain(|c| {
-                    community_dict::classify::classify_large(ixp, *c)
-                        .action()
-                        .is_none()
-                });
-                route.extended_communities.retain(|c| {
-                    community_dict::classify::classify_extended(ixp, *c)
-                        .action()
-                        .is_none()
-                });
-                let scrubbed = (before - route.community_count()) as u64;
-                self.stats.scrubbed_communities += scrubbed;
-                self.metrics.scrubbed_communities.add(scrubbed);
-            }
+            scrubbed
+        }
+        ScrubPolicy::ActionsOnly => {
+            let before = route.community_count();
+            route.standard_communities.retain(|c| {
+                (is_blackhole && c.is_blackhole()) || dict.classify(*c).action().is_none()
+            });
+            let ixp = config.ixp;
+            route.large_communities.retain(|c| {
+                community_dict::classify::classify_large(ixp, *c)
+                    .action()
+                    .is_none()
+            });
+            route.extended_communities.retain(|c| {
+                community_dict::classify::classify_extended(ixp, *c)
+                    .action()
+                    .is_none()
+            });
+            (before - route.community_count()) as u64
         }
     }
 }
@@ -495,6 +545,51 @@ mod tests {
         assert_eq!(exp.len(), 1);
         // info tags survive ActionsOnly scrubbing
         assert_eq!(exp[0].standard_communities.len(), 2);
+    }
+
+    #[test]
+    fn unmodified_export_shares_the_stored_route() {
+        let mut server = rs();
+        // info tags only: ActionsOnly scrubbing is a no-op, no prepend
+        let r = route("193.0.10.0/24", &[]);
+        assert_eq!(server.announce(Asn(39120), r), IngestOutcome::Accepted);
+        let exp = server.export_to(Asn(6939));
+        assert_eq!(exp.len(), 1);
+        let stored = server
+            .accepted()
+            .peer(Asn(39120))
+            .unwrap()
+            .get_shared(&"193.0.10.0/24".parse().unwrap())
+            .unwrap();
+        // same allocation, not a deep copy
+        assert!(Arc::ptr_eq(&exp[0], stored));
+        assert_eq!(server.stats().export_routes_shared, 1);
+        assert_eq!(server.stats().export_routes_copied, 0);
+    }
+
+    #[test]
+    fn mutated_export_copies_and_leaves_rib_intact() {
+        let mut server = rs();
+        // carries an action community targeting another member: exporting
+        // to AS6939 is allowed but ActionsOnly scrubbing removes the tag
+        let r = route(
+            "193.0.10.0/24",
+            &[schemes::avoid_community(IXP, Asn(15169))],
+        );
+        assert_eq!(server.announce(Asn(39120), r), IngestOutcome::Accepted);
+        let exp = server.export_to(Asn(6939));
+        assert_eq!(exp.len(), 1);
+        let stored = server
+            .accepted()
+            .peer(Asn(39120))
+            .unwrap()
+            .get_shared(&"193.0.10.0/24".parse().unwrap())
+            .unwrap();
+        assert!(!Arc::ptr_eq(&exp[0], stored));
+        // the scrub mutated the copy, never the stored route
+        assert!(exp[0].standard_communities.len() < stored.standard_communities.len());
+        assert_eq!(server.stats().export_routes_copied, 1);
+        assert_eq!(server.stats().export_routes_shared, 0);
     }
 
     #[test]

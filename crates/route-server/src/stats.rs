@@ -33,6 +33,12 @@ pub struct RsStats {
     pub export_evaluations: u64,
     /// Communities removed by scrubbing on export.
     pub scrubbed_communities: u64,
+    /// Exported routes shared with the RIB copy (no prepend/scrub
+    /// mutation, so no per-peer deep clone was allocated).
+    pub export_routes_shared: u64,
+    /// Exported routes that were copied because a prepend or scrub
+    /// actually mutated them (copy-on-write slow path).
+    pub export_routes_copied: u64,
 }
 
 impl RsStats {

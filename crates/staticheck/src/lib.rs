@@ -66,7 +66,8 @@
 //! `crates/*/src/**.rs` enforcing: SC101 no panicking constructs in
 //! library code, SC102 no raw clock reads outside `obs`, SC103 every
 //! minted metric/span name comes from the `obs::names` registry, SC104
-//! the registry itself is consistent.
+//! the registry itself is consistent, SC105 no raw thread creation
+//! outside the `par` pool (and the looking-glass TCP transport).
 //!
 //! Sanctioned exceptions live in `staticheck.toml` at the repo root
 //! ([`allow`]); every entry needs a reason. Exit status is nonzero iff

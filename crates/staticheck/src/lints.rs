@@ -15,7 +15,11 @@
 //!   every minted name must come from the `obs::names` registry;
 //! * **SC104** — the `obs::names` registry itself is self-consistent
 //!   (every constant listed in `ALL`, no duplicate values, names follow
-//!   the `dotted.lowercase` convention).
+//!   the `dotted.lowercase` convention);
+//! * **SC105** — no `std::thread::spawn` / `thread::scope` /
+//!   `thread::Builder` outside the `par` executor and the looking-glass
+//!   TCP transport: all data-parallel threading goes through the pool,
+//!   whose ordered joins keep artifacts deterministic.
 //!
 //! The scanner first *cleans* each file: comment bodies and string
 //! contents are replaced by spaces (quotes are kept so SC103 can still
@@ -80,6 +84,11 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
     let cleaned = clean_source(text);
     let in_obs = rel.starts_with("crates/obs/");
     let in_bin = rel.contains("/src/bin/");
+    // The only sanctioned thread-creation sites: the deterministic pool
+    // itself, and the LG TCP transport's per-connection workers (request
+    // serving is I/O concurrency, not data parallelism).
+    let may_spawn =
+        rel.starts_with("crates/par/") || rel == "crates/looking-glass/src/transport.rs";
 
     let mut depth: i32 = 0;
     let mut skip_above: Option<i32> = None; // inside #[cfg(test)] body
@@ -123,6 +132,9 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
             check_clock_free(rel, lineno, line, out);
             check_metric_names(rel, lineno, line, out);
         }
+        if !may_spawn {
+            check_thread_free(rel, lineno, line, out);
+        }
     }
 }
 
@@ -164,6 +176,25 @@ fn check_clock_free(rel: &str, lineno: usize, line: &str, out: &mut Vec<Diagnost
                 Severity::Error,
                 format!("{rel}:{lineno}"),
                 format!("`{needle}` outside the obs crate: time must flow through instrumentation"),
+            ));
+        }
+    }
+}
+
+/// SC105: raw thread creation outside the `par` pool (and the LG TCP
+/// transport). Ad-hoc threads bypass the ordered-join determinism
+/// argument and the pool's telemetry.
+fn check_thread_free(rel: &str, lineno: usize, line: &str, out: &mut Vec<Diagnostic>) {
+    for needle in ["thread::spawn(", "thread::scope(", "thread::Builder"] {
+        if line.contains(needle) {
+            out.push(Diagnostic::new(
+                "SC105",
+                Severity::Error,
+                format!("{rel}:{lineno}"),
+                format!(
+                    "`{needle}` outside crates/par: route data parallelism \
+                     through par::map_indexed so joins stay ordered"
+                ),
             ));
         }
     }
@@ -515,6 +546,28 @@ mod tests {
         // constants are fine
         let ok = "let c = registry.counter(obs::names::RS_X);\n";
         assert!(lint_text("crates/x/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let diags = lint_text("crates/analysis/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SC105");
+        // sanctioned sites: the pool and the LG TCP transport
+        assert!(lint_text("crates/par/src/lib.rs", src).is_empty());
+        assert!(lint_text("crates/looking-glass/src/transport.rs", src).is_empty());
+        // ...but the rest of looking-glass is not exempt
+        assert_eq!(
+            lint_text("crates/looking-glass/src/server.rs", src).len(),
+            1
+        );
+        // scoped threads and builders count too
+        let scoped = "fn f() { std::thread::scope(|s| {}); }\n";
+        assert_eq!(lint_text("crates/x/src/lib.rs", scoped)[0].code, "SC105");
+        // test code is exempt like the other lints
+        let test_src = "#[cfg(test)]\nmod tests {\n fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_text("crates/x/src/lib.rs", test_src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Snapshot the criterion suite into BENCH_5.json: bench name → median
+# ns/iter, so the perf trajectory is recorded next to the code.
+#
+#   scripts/bench_snapshot.sh                 # one rep of every bench
+#   BENCH_REPS=3 scripts/bench_snapshot.sh    # median over 3 reps
+#   BENCH_FILTER=parallel scripts/...         # only one bench target
+#
+# The vendored criterion stand-in prints one `bench <name> <ns> ns/iter`
+# line per benchmark; this script collects those lines over BENCH_REPS
+# runs and writes the per-name median to BENCH_OUT (default BENCH_5.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+reps="${BENCH_REPS:-1}"
+out="${BENCH_OUT:-BENCH_5.json}"
+filter="${BENCH_FILTER:-}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+bench_args=(bench -p bench)
+[[ -n "$filter" ]] && bench_args+=(--bench "$filter")
+
+for i in $(seq "$reps"); do
+    echo "==> bench rep $i/$reps" >&2
+    cargo "${bench_args[@]}" 2>/dev/null | grep '^bench ' >>"$tmp"
+done
+
+awk '{ print $2, $3 }' "$tmp" | sort -k1,1 -k2,2g | awk '
+    function flush() {
+        if (cnt == 0) return
+        mid = int((cnt + 1) / 2)
+        med = (cnt % 2 == 1) ? vals[mid] : (vals[mid] + vals[mid + 1]) / 2
+        entries[++m] = "  \"" name "\": " med
+        cnt = 0
+    }
+    $1 != name { flush(); name = $1 }
+    { vals[++cnt] = $2 }
+    END {
+        flush()
+        print "{"
+        for (i = 1; i <= m; i++) printf "%s%s\n", entries[i], (i < m ? "," : "")
+        print "}"
+    }
+' >"$out"
+
+echo "wrote $out ($(grep -c '":' "$out") benchmark(s), $reps rep(s))"

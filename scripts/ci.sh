@@ -22,14 +22,24 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# Serial/parallel equivalence matrix: the same pipeline artifacts must be
+# byte-identical under PAR_THREADS=1 and PAR_THREADS=4 (ordered joins).
+# On divergence the test writes both variants under target/par-divergence/
+# and the failure message names the diverging artifact path.
+echo "==> determinism matrix (PAR_THREADS=1 and PAR_THREADS=4)"
+PAR_THREADS=1 cargo test -q --test par_equivalence
+PAR_THREADS=4 cargo test -q --test par_equivalence
+
 # Deterministic fault-injection suite over the full seed corpus. Debug
 # test runs above already cover a reduced corpus; this stage pins the
-# release binary to the fixed 32-seed corpus (override with CHAOS_SEEDS=N).
-# On failure the suite prints a CHAOS_REPLAY='{"seed":...,"plan":...}'
-# command that replays the exact failing (seed, fault plan) pair.
+# release binary to the fixed 32-seed corpus (override with CHAOS_SEEDS=N)
+# and runs it on the multithreaded build (PAR_THREADS=4) so the corpus
+# exercises the parallel fan-out too. On failure the suite prints a
+# CHAOS_REPLAY='{"seed":...,"plan":...}' command that replays the exact
+# failing (seed, fault plan) pair.
 if [[ "$fast" -eq 0 ]]; then
-    echo "==> chaos (32-seed fault-injection corpus, release)"
-    CHAOS_SEEDS="${CHAOS_SEEDS:-32}" cargo test -q -p chaos --release
+    echo "==> chaos (32-seed fault-injection corpus, release, PAR_THREADS=4)"
+    CHAOS_SEEDS="${CHAOS_SEEDS:-32}" PAR_THREADS=4 cargo test -q -p chaos --release
 fi
 
 echo "==> staticheck (policy verifier + workspace lints)"

@@ -27,6 +27,7 @@ pub use bgp_wire;
 pub use community_dict;
 pub use ixp_sim;
 pub use looking_glass;
+pub use par;
 pub use route_server;
 pub use staticheck;
 

@@ -106,7 +106,11 @@ fn exported_routes_reencode_cleanly() {
         .build();
         assert_eq!(rs.announce(member, r), IngestOutcome::Accepted);
     }
-    let exported = rs.export_to(Asn(6939));
+    let exported: Vec<Route> = rs
+        .export_to(Asn(6939))
+        .iter()
+        .map(|r| Route::clone(r))
+        .collect();
     assert_eq!(exported.len(), 40);
     let updates = routes_to_updates(&exported);
     let mut recovered = 0;
@@ -185,7 +189,11 @@ fn route_refresh_triggers_full_readvertisement() {
     // the caller executes it: re-export and stream back over the session
     let routes = rs.export_to(member);
     assert_eq!(routes.len(), 0, "a member never hears its own routes");
-    let routes = rs.export_to(Asn(6939));
+    let routes: Vec<Route> = rs
+        .export_to(Asn(6939))
+        .iter()
+        .map(|r| Route::clone(r))
+        .collect();
     assert_eq!(routes.len(), 7);
     let mut delivered = 0;
     for u in routes_to_updates(&routes) {

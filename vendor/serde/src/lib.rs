@@ -867,6 +867,12 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::sync::Arc::new)
+    }
+}
+
 // Supports `&'static str` fields (e.g. display-only labels in config
 // structs). The string is leaked to obtain the `'static` lifetime, so this
 // is for small, infrequently-deserialized values — fine for our configs.
