@@ -69,6 +69,7 @@ pub struct FullReport {
 /// in the store. `dicts` must contain the dictionary for every IXP
 /// present.
 pub fn full_report(store: &SnapshotStore, dicts: &[(IxpId, Dictionary)]) -> FullReport {
+    let _span = obs::span!(obs::names::ANALYSIS_FULL_REPORT);
     let mut report = FullReport::default();
     // Fan out per (IXP, family) snapshot: each task builds its own View
     // (with its own classification memo) and computes every figure and
@@ -78,6 +79,7 @@ pub fn full_report(store: &SnapshotStore, dicts: &[(IxpId, Dictionary)]) -> Full
         .flat_map(|i| [(i, Afi::Ipv4), (i, Afi::Ipv6)])
         .collect();
     let computed = par::map_indexed(&units, |_, &(i, afi)| {
+        let _span = obs::span!(obs::names::ANALYSIS_REPORT_UNIT);
         let (ixp, dict) = &dicts[i];
         let snap = store.latest(*ixp, afi)?;
         let view = View::new(snap, dict);

@@ -79,11 +79,17 @@ impl Ctx {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `repro perf` is a separate mode: the bench-regression gate, not a
+    // paper experiment.
+    if args.first().map(String::as_str) == Some("perf") {
+        std::process::exit(run_perf(&args[1..]));
+    }
     let mut scale = 0.1f64;
     let mut seed = 0x1C0FFEEu64;
     let mut ixps: Vec<IxpId> = IxpId::BIG_FOUR.to_vec();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut json_out: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -93,13 +99,22 @@ fn main() {
             "--all-ixps" => ixps = IxpId::ALL.to_vec(),
             "--csv" => csv_dir = Some(std::path::PathBuf::from(it.next().expect("--csv DIR"))),
             "--json" => json_out = Some(std::path::PathBuf::from(it.next().expect("--json FILE"))),
+            "--trace" => {
+                trace_out = Some(std::path::PathBuf::from(it.next().expect("--trace FILE")))
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale F] [--seed N] [--all-ixps] [--csv DIR] [--json FILE] [EXPERIMENT...]\n\
+                    "repro [--scale F] [--seed N] [--all-ixps] [--csv DIR] [--json FILE] \
+                     [--trace FILE] [EXPERIMENT...]\n\
                      experiments: check table1 fig1 fig2 fig3 fig4a fig4b fig4c table2 \
                      type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation overlap all\n\
                      extra (not in `all`): chaos — run the deterministic fault-injection \
-                     corpus (CHAOS_SEEDS=N overrides the seed count)"
+                     corpus (CHAOS_SEEDS=N overrides the seed count)\n\
+                     --trace FILE: record the causal span trace and write it as Chrome \
+                     trace_event JSON (open in Perfetto), plus a self-time table\n\
+                     repro perf --check [--baseline F] [--current F] [--tolerance X]: \
+                     diff a bench snapshot against the committed baseline and exit \
+                     nonzero on regressions (no --current: runs scripts/bench_snapshot.sh)"
                 );
                 return;
             }
@@ -134,6 +149,10 @@ fn main() {
 
     let registry = obs::global();
     registry.enable_events(4096);
+    if trace_out.is_some() {
+        registry.enable_tracing();
+        let _ = registry.take_trace_spans(); // fresh trace epoch
+    }
     let baseline = registry.snapshot();
 
     // `check` is a pre-flight, not a table: run it before anything is
@@ -240,6 +259,111 @@ fn main() {
         Ok(()) => eprintln!("telemetry: wrote {}", telemetry_path.display()),
         Err(e) => eprintln!("telemetry: cannot write {}: {e}", telemetry_path.display()),
     }
+
+    // With --trace: export the causal span tree (Perfetto-loadable) and
+    // print where the wall time actually went.
+    if let Some(path) = &trace_out {
+        let spans = registry.take_trace_spans();
+        match std::fs::write(path, obs::trace::chrome_trace_json(&spans)) {
+            Ok(()) => eprintln!(
+                "trace: wrote {} ({} spans; open in Perfetto / chrome://tracing)",
+                path.display(),
+                spans.len()
+            ),
+            Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+        }
+        println!("=== self-time profile (top 10) ===");
+        print!(
+            "{}",
+            obs::trace::render_self_time(&obs::trace::self_time_table(&spans), 10)
+        );
+    }
+}
+
+/// `repro perf` — the bench-regression gate. Compares a current bench
+/// snapshot against the committed baseline (`BENCH_5.json`) using the
+/// tolerance bands in `bench::perf` and exits nonzero on regression.
+fn run_perf(args: &[String]) -> i32 {
+    let mut baseline_path = std::path::PathBuf::from("BENCH_5.json");
+    let mut current_path: Option<std::path::PathBuf> = None;
+    let mut tolerance = 1.0f64;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--baseline" => {
+                baseline_path = std::path::PathBuf::from(it.next().expect("--baseline FILE"))
+            }
+            "--current" => {
+                current_path = Some(std::path::PathBuf::from(it.next().expect("--current FILE")))
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance X")
+                    .parse()
+                    .expect("tolerance factor")
+            }
+            other => {
+                eprintln!("perf: unknown argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let _ = check; // `--check` is the only mode; accepted for clarity at call sites
+
+    // No --current: take a fresh snapshot via the script (honors
+    // BENCH_SMOKE / BENCH_REPS / PAR_THREADS).
+    let current_path = match current_path {
+        Some(p) => p,
+        None => {
+            let out = std::path::PathBuf::from("target/bench_current.json");
+            eprintln!("perf: no --current, snapshotting to {}...", out.display());
+            let status = std::process::Command::new("bash")
+                .arg("scripts/bench_snapshot.sh")
+                .arg(&out)
+                .status();
+            match status {
+                Ok(s) if s.success() => out,
+                Ok(s) => {
+                    eprintln!("perf: bench_snapshot.sh failed with {s}");
+                    return 2;
+                }
+                Err(e) => {
+                    eprintln!("perf: cannot run bench_snapshot.sh: {e}");
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let baseline = match bench::perf::load_snapshot(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return 2;
+        }
+    };
+    let current = match bench::perf::load_snapshot(&current_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return 2;
+        }
+    };
+    if let Some(t) = current.meta.threads {
+        eprintln!(
+            "perf: current run used {t} thread(s){}",
+            match &current.meta.date {
+                Some(d) => format!(", benched {d}"),
+                None => String::new(),
+            }
+        );
+    }
+    let d = bench::perf::diff(&baseline, &current, tolerance);
+    print!("{}", d.render());
+    i32::from(d.has_regressions())
 }
 
 /// Pre-flight: statically verify every configured IXP's route-server

@@ -4,6 +4,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use bgp_model::prefix::Afi;
 use community_dict::dictionary::Dictionary;
 use community_dict::ixp::IxpId;

@@ -1,0 +1,428 @@
+//! The bench-regression gate: diff a fresh bench snapshot against a
+//! committed baseline with per-bench tolerance bands.
+//!
+//! Snapshots are the JSON files `scripts/bench_snapshot.sh` writes —
+//! either the legacy flat form (`{"bench_name": median_ns, ...}`, how
+//! the committed `BENCH_5.json` baseline is stored) or the newer
+//! enveloped form with run metadata:
+//!
+//! ```json
+//! {
+//!   "meta": {"threads": 4, "num_cpus": 8, "date": "2026-08-08", "reps": 5},
+//!   "benches": {"scenario_4ixp_scale_0.02_threads_1": 182882864.0}
+//! }
+//! ```
+//!
+//! [`diff`] compares the two and classifies every bench with a
+//! [`Verdict`]; `repro perf --check` (and `scripts/bench_diff.sh` /
+//! `scripts/ci.sh` on top of it) exits nonzero iff any bench regressed
+//! beyond its band.
+//!
+//! Tolerance bands scale with baseline magnitude — wall-clock noise is
+//! relatively larger for short benches — and are multiplied by a global
+//! `--tolerance` factor so CI smoke runs (few iterations, shared
+//! machines) can run wider without editing the bands.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Run metadata embedded by `scripts/bench_snapshot.sh` (newer
+/// snapshots only).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotMeta {
+    /// Worker threads the run used (`PAR_THREADS` or machine default).
+    pub threads: Option<u64>,
+    /// CPUs available on the benching machine.
+    pub num_cpus: Option<u64>,
+    /// UTC date of the run.
+    pub date: Option<String>,
+    /// Repetitions the median was taken over.
+    pub reps: Option<u64>,
+}
+
+/// One parsed snapshot: bench name → median ns/iter, plus optional
+/// run metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchSnapshot {
+    /// Run metadata, when the snapshot embeds it.
+    pub meta: SnapshotMeta,
+    /// Median ns/iter per bench name.
+    pub benches: BTreeMap<String, f64>,
+}
+
+fn content_as_f64(v: &serde_json::Value) -> Option<f64> {
+    use serde::content::Content;
+    match v {
+        Content::U64(n) => Some(*n as f64),
+        Content::I64(n) => Some(*n as f64),
+        Content::F64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn content_as_u64(v: &serde_json::Value) -> Option<u64> {
+    use serde::content::Content;
+    match v {
+        Content::U64(n) => Some(*n),
+        Content::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn parse_bench_map(pairs: &[(String, serde_json::Value)]) -> Result<BTreeMap<String, f64>, String> {
+    let mut benches = BTreeMap::new();
+    for (name, v) in pairs {
+        let ns = content_as_f64(v).ok_or_else(|| format!("bench {name:?}: not a number"))?;
+        benches.insert(name.clone(), ns);
+    }
+    Ok(benches)
+}
+
+/// Parse a snapshot in either the legacy flat form or the enveloped
+/// `{meta, benches}` form.
+pub fn parse_snapshot(text: &str) -> Result<BenchSnapshot, String> {
+    use serde::content::Content;
+    let value = serde_json::parse_value(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let Content::Map(pairs) = &value else {
+        return Err("snapshot is not a JSON object".into());
+    };
+    let is_enveloped = pairs.iter().any(|(k, _)| k == "benches");
+    if !is_enveloped {
+        return Ok(BenchSnapshot {
+            meta: SnapshotMeta::default(),
+            benches: parse_bench_map(pairs)?,
+        });
+    }
+    let mut snap = BenchSnapshot::default();
+    for (key, v) in pairs {
+        match (key.as_str(), v) {
+            ("benches", Content::Map(b)) => snap.benches = parse_bench_map(b)?,
+            ("benches", _) => return Err("\"benches\" is not an object".into()),
+            ("meta", Content::Map(m)) => {
+                for (mk, mv) in m {
+                    match mk.as_str() {
+                        "threads" => snap.meta.threads = content_as_u64(mv),
+                        "num_cpus" => snap.meta.num_cpus = content_as_u64(mv),
+                        "reps" => snap.meta.reps = content_as_u64(mv),
+                        "date" => {
+                            if let Content::Str(s) = mv {
+                                snap.meta.date = Some(s.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(snap)
+}
+
+/// Read and parse a snapshot file.
+pub fn load_snapshot(path: &std::path::Path) -> Result<BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_snapshot(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The allowed current/baseline ratio before a bench counts as
+/// regressed, as a function of baseline magnitude: short benches are
+/// noisier in wall-clock terms, so their bands are wider.
+pub fn tolerance_band(baseline_ns: f64) -> f64 {
+    if baseline_ns >= 1e7 {
+        1.5 // ≥ 10 ms: stable, anything past +50% is real
+    } else if baseline_ns >= 1e5 {
+        2.0 // ≥ 100 µs
+    } else if baseline_ns >= 1e3 {
+        2.5 // ≥ 1 µs
+    } else {
+        4.0 // sub-µs: dominated by harness noise
+    }
+}
+
+/// Classification of one bench in a [`PerfDiff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within its band.
+    Ok,
+    /// At least 20% faster than baseline.
+    Improved,
+    /// Slower than baseline by more than the band allows.
+    Regressed,
+    /// Present only in the current snapshot (warn, not a failure).
+    New,
+    /// Present only in the baseline (warn, not a failure).
+    Missing,
+}
+
+/// One bench's comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Bench name.
+    pub name: String,
+    /// Baseline median ns/iter (`None` for [`Verdict::New`]).
+    pub baseline_ns: Option<f64>,
+    /// Current median ns/iter (`None` for [`Verdict::Missing`]).
+    pub current_ns: Option<f64>,
+    /// The band this bench was held to (already including the global
+    /// tolerance factor).
+    pub allowed_ratio: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl BenchDelta {
+    /// current / baseline, when both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline_ns, self.current_ns) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// The full comparison of two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiff {
+    /// One row per bench name present in either snapshot, name order.
+    pub deltas: Vec<BenchDelta>,
+    /// The global tolerance factor the bands were multiplied by.
+    pub tolerance: f64,
+}
+
+impl PerfDiff {
+    /// The benches that regressed beyond their band.
+    pub fn regressions(&self) -> Vec<&BenchDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// True iff any bench regressed (the gate's exit condition).
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.verdict == Verdict::Regressed)
+    }
+
+    /// Render the comparison as an aligned text report, regressions
+    /// named explicitly at the end.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<45} {:>14} {:>14} {:>7} {:>7}  verdict",
+            "bench", "baseline ns", "current ns", "ratio", "band"
+        );
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.0}"),
+            None => "-".to_string(),
+        };
+        for d in &self.deltas {
+            let verdict = match d.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Improved => "improved",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::New => "new (no baseline)",
+                Verdict::Missing => "missing from current",
+            };
+            let _ = writeln!(
+                out,
+                "{:<45} {:>14} {:>14} {:>7} {:>7}  {verdict}",
+                d.name,
+                fmt_opt(d.baseline_ns),
+                fmt_opt(d.current_ns),
+                match d.ratio() {
+                    Some(r) => format!("{r:.2}x"),
+                    None => "-".to_string(),
+                },
+                match d.allowed_ratio {
+                    Some(b) => format!("{b:.2}x"),
+                    None => "-".to_string(),
+                },
+            );
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "perf: no regressions (tolerance x{:.2})",
+                self.tolerance
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "perf: {} regression(s) beyond tolerance x{:.2}:",
+                regressions.len(),
+                self.tolerance
+            );
+            for d in regressions {
+                let _ = writeln!(
+                    out,
+                    "  {} went {} -> {} ns/iter ({}, allowed {:.2}x)",
+                    d.name,
+                    fmt_opt(d.baseline_ns),
+                    fmt_opt(d.current_ns),
+                    match d.ratio() {
+                        Some(r) => format!("{r:.2}x"),
+                        None => "-".to_string(),
+                    },
+                    d.allowed_ratio.unwrap_or(0.0),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Compare `current` against `baseline`. `tolerance` scales every
+/// band (1.0 = the standard bands; CI smoke runs pass more).
+pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, tolerance: f64) -> PerfDiff {
+    let mut names: Vec<&String> = baseline.benches.keys().collect();
+    for name in current.benches.keys() {
+        if !baseline.benches.contains_key(name) {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let deltas = names
+        .into_iter()
+        .map(|name| {
+            let baseline_ns = baseline.benches.get(name).copied();
+            let current_ns = current.benches.get(name).copied();
+            let (allowed_ratio, verdict) = match (baseline_ns, current_ns) {
+                (Some(b), Some(c)) => {
+                    let band = tolerance_band(b) * tolerance;
+                    let verdict = if b > 0.0 && c > b * band {
+                        Verdict::Regressed
+                    } else if b > 0.0 && c < b * 0.8 {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Ok
+                    };
+                    (Some(band), verdict)
+                }
+                (Some(_), None) => (None, Verdict::Missing),
+                (None, _) => (None, Verdict::New),
+            };
+            BenchDelta {
+                name: name.clone(),
+                baseline_ns,
+                current_ns,
+                allowed_ratio,
+                verdict,
+            }
+        })
+        .collect();
+    PerfDiff { deltas, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_legacy_flat_snapshot() {
+        let snap = parse_snapshot(r#"{"a_bench": 1500000.0, "b_bench": 42}"#).expect("parses");
+        assert_eq!(snap.benches.len(), 2);
+        assert_eq!(snap.benches["a_bench"], 1.5e6);
+        assert_eq!(snap.benches["b_bench"], 42.0);
+        assert_eq!(snap.meta, SnapshotMeta::default());
+    }
+
+    #[test]
+    fn parses_enveloped_snapshot_with_meta() {
+        let snap = parse_snapshot(
+            r#"{"meta": {"threads": 4, "num_cpus": 8, "date": "2026-08-08", "reps": 5},
+                "benches": {"a_bench": 1000.0}}"#,
+        )
+        .expect("parses");
+        assert_eq!(snap.meta.threads, Some(4));
+        assert_eq!(snap.meta.num_cpus, Some(8));
+        assert_eq!(snap.meta.reps, Some(5));
+        assert_eq!(snap.meta.date.as_deref(), Some("2026-08-08"));
+        assert_eq!(snap.benches["a_bench"], 1000.0);
+    }
+
+    #[test]
+    fn rejects_non_numeric_bench() {
+        assert!(parse_snapshot(r#"{"a": "fast"}"#).is_err());
+        assert!(parse_snapshot("[1,2]").is_err());
+        assert!(parse_snapshot("not json").is_err());
+    }
+
+    #[test]
+    fn bands_widen_as_baselines_shrink() {
+        assert_eq!(tolerance_band(2e8), 1.5);
+        assert_eq!(tolerance_band(5e5), 2.0);
+        assert_eq!(tolerance_band(5e3), 2.5);
+        assert_eq!(tolerance_band(100.0), 4.0);
+    }
+
+    fn snap(pairs: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            meta: SnapshotMeta::default(),
+            benches: pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = snap(&[("big", 2e8), ("small", 500.0)]);
+        let d = diff(&base, &base.clone(), 1.0);
+        assert!(!d.has_regressions());
+        assert!(d.deltas.iter().all(|x| x.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn two_x_regression_is_named() {
+        let base = snap(&[("big", 2e8), ("other", 1e8)]);
+        let cur = snap(&[("big", 4e8), ("other", 1e8)]);
+        let d = diff(&base, &cur, 1.0);
+        assert!(d.has_regressions());
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "big");
+        assert!(d.render().contains("big"));
+        assert!(d.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn wider_tolerance_clears_the_same_regression() {
+        let base = snap(&[("big", 2e8)]);
+        let cur = snap(&[("big", 4e8)]);
+        assert!(diff(&base, &cur, 1.0).has_regressions());
+        assert!(!diff(&base, &cur, 2.0).has_regressions());
+    }
+
+    #[test]
+    fn sub_microsecond_benches_get_slack() {
+        // 3x on a 500 ns bench is inside the 4.0x band
+        let base = snap(&[("tiny", 500.0)]);
+        let cur = snap(&[("tiny", 1500.0)]);
+        assert!(!diff(&base, &cur, 1.0).has_regressions());
+        // but the same ratio on a 200 ms bench regresses
+        let base = snap(&[("big", 2e8)]);
+        let cur = snap(&[("big", 6e8)]);
+        assert!(diff(&base, &cur, 1.0).has_regressions());
+    }
+
+    #[test]
+    fn new_and_missing_warn_but_do_not_fail() {
+        let base = snap(&[("gone", 1e6)]);
+        let cur = snap(&[("added", 1e6)]);
+        let d = diff(&base, &cur, 1.0);
+        assert!(!d.has_regressions());
+        let verdicts: Vec<Verdict> = d.deltas.iter().map(|x| x.verdict).collect();
+        assert!(verdicts.contains(&Verdict::New));
+        assert!(verdicts.contains(&Verdict::Missing));
+    }
+
+    #[test]
+    fn improvement_is_reported() {
+        let base = snap(&[("big", 2e8)]);
+        let cur = snap(&[("big", 1e8)]);
+        let d = diff(&base, &cur, 1.0);
+        assert_eq!(d.deltas[0].verdict, Verdict::Improved);
+    }
+}

@@ -1,0 +1,75 @@
+//! Fixture tests for the bench-regression gate.
+//!
+//! `fixtures/perf_base.json` is a legacy flat baseline (the format the
+//! committed `BENCH_5.json` uses); `fixtures/perf_regressed.json` is the
+//! same suite re-snapshotted in the `{meta, benches}` envelope with a
+//! synthetic 2x regression injected into `full_report_4ixp_threads_4`.
+//! The gate must stay green on an identical snapshot and fire on the
+//! injected regression — the same check `scripts/bench_diff.sh` runs in
+//! CI via `repro perf --check`.
+
+use bench::perf::{diff, load_snapshot, Verdict};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn identical_snapshot_passes_the_gate() {
+    let base = load_snapshot(&fixture("perf_base.json")).expect("base fixture parses");
+    let diffed = diff(&base, &base, 1.0);
+    assert!(
+        !diffed.has_regressions(),
+        "identical snapshot must pass the gate:\n{}",
+        diffed.render()
+    );
+    assert!(diffed.render().contains("no regressions"));
+}
+
+#[test]
+fn injected_2x_regression_fires_the_gate() {
+    let base = load_snapshot(&fixture("perf_base.json")).expect("base fixture parses");
+    let cur = load_snapshot(&fixture("perf_regressed.json")).expect("regressed fixture parses");
+
+    // The regressed fixture carries the {meta, benches} envelope.
+    assert_eq!(cur.meta.threads, Some(4));
+    assert_eq!(cur.meta.date.as_deref(), Some("2026-08-08"));
+
+    let diffed = diff(&base, &cur, 1.0);
+    assert!(diffed.has_regressions(), "2x regression must fire the gate");
+    let regressed: Vec<&str> = diffed
+        .regressions()
+        .iter()
+        .map(|d| d.name.as_str())
+        .collect();
+    assert_eq!(
+        regressed,
+        ["full_report_4ixp_threads_4"],
+        "only the injected regression should fire"
+    );
+    assert!(diffed.render().contains("full_report_4ixp_threads_4"));
+
+    // Every other bench sits inside its band (small speedups included).
+    for d in &diffed.deltas {
+        if d.name != "full_report_4ixp_threads_4" {
+            assert_ne!(d.verdict, Verdict::Regressed, "{} misflagged", d.name);
+        }
+    }
+}
+
+#[test]
+fn widened_tolerance_clears_the_injected_regression() {
+    let base = load_snapshot(&fixture("perf_base.json")).expect("base fixture parses");
+    let cur = load_snapshot(&fixture("perf_regressed.json")).expect("regressed fixture parses");
+    // A 2x slowdown on a >=10ms bench has a 1.5x band; tolerance 1.5
+    // stretches it to 2.25x, which the injected regression fits under.
+    let diffed = diff(&base, &cur, 1.5);
+    assert!(
+        !diffed.has_regressions(),
+        "tolerance 1.5 should clear the 2x regression:\n{}",
+        diffed.render()
+    );
+}

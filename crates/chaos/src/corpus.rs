@@ -32,6 +32,7 @@ pub struct SeedOutcome {
 /// Run `seeds` campaigns at `master_seed`, `master_seed + 1`, … and
 /// return one [`SeedOutcome`] per seed, in seed order.
 pub fn run_corpus(master_seed: u64, seeds: u64, cfg: &CampaignConfig) -> Vec<SeedOutcome> {
+    let _span = obs::span!(obs::names::CHAOS_CORPUS);
     let seed_list: Vec<u64> = (0..seeds).map(|i| master_seed.wrapping_add(i)).collect();
     par::map_indexed(&seed_list, |_, &seed| {
         let _span = obs::global()

@@ -285,7 +285,10 @@ pub fn generate_all(config: &TimelineConfig) -> Vec<Series> {
         .iter()
         .flat_map(|&ixp| [(ixp, Afi::Ipv4), (ixp, Afi::Ipv6)])
         .collect();
-    par::map_indexed(&units, |_, &(ixp, afi)| generate_series(ixp, afi, config))
+    par::map_indexed(&units, |_, &(ixp, afi)| {
+        let _span = obs::span!(obs::names::SIM_SERIES_UNIT);
+        generate_series(ixp, afi, config)
+    })
 }
 
 #[cfg(test)]

@@ -43,6 +43,30 @@ pub enum LgRequest {
     RsConfigText,
 }
 
+/// Trace context carried in the request framing (see `obs::trace`):
+/// lets the server parent its serving spans to the remote caller's
+/// span, so one collection produces one coherent trace across the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Root ID of the caller's trace.
+    pub trace_id: u64,
+    /// The caller's active span.
+    pub span_id: u64,
+    /// Child slot the caller allocated for this request.
+    pub slot: u64,
+}
+
+/// A request wrapped with its caller's trace context. The TCP framing
+/// accepts both this and a bare [`LgRequest`] line, so untraced clients
+/// keep working.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracedRequest {
+    /// The caller's trace context.
+    pub trace: TraceContext,
+    /// The request itself.
+    pub req: LgRequest,
+}
+
 /// Summary row for one member.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemberSummary {

@@ -48,7 +48,9 @@ pub mod transport;
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::api::{LgError, LgRequest, LgResponse, MemberSummary};
+    pub use crate::api::{
+        LgError, LgRequest, LgResponse, MemberSummary, TraceContext, TracedRequest,
+    };
     pub use crate::client::{CollectionReport, Collector, CollectorConfig, LgTransport};
     pub use crate::clock::{Clock, SystemClock, VirtualClock};
     pub use crate::dataset::{export as export_dataset, import as import_dataset, DatasetIndex};

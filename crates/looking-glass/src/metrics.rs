@@ -16,8 +16,8 @@ pub(crate) struct LgMetrics {
     pub failures_injected: Counter,
     /// Routes pages silently truncated by the failure model.
     pub pages_truncated: Counter,
-    /// Wall-clock time to serve one request, nanoseconds.
-    pub handle_ns: Histogram,
+    // the serve latency (`lg.handle`) is recorded by the span the
+    // server opens per request, not by a handle here
     // client side
     /// Requests issued by the collector (including retries).
     pub client_requests: Counter,
@@ -40,7 +40,6 @@ pub(crate) fn handles() -> &'static LgMetrics {
             rate_limited: registry.counter(names::LG_RATE_LIMITED),
             failures_injected: registry.counter(names::LG_FAILURES_INJECTED),
             pages_truncated: registry.counter(names::LG_PAGES_TRUNCATED),
-            handle_ns: registry.histogram(names::LG_HANDLE),
             client_requests: registry.counter(names::LG_CLIENT_REQUESTS),
             client_retries: registry.counter(names::LG_CLIENT_RETRIES),
             snapshots_complete: registry.counter(names::LG_CLIENT_SNAPSHOTS_COMPLETE),

@@ -118,7 +118,12 @@ impl LgServer {
     pub fn handle(&self, request: &LgRequest, now_ms: u64) -> Result<LgResponse, LgError> {
         let m = crate::metrics::handles();
         m.requests.inc();
-        let _timer = m.handle_ns.start();
+        // A span, not a bare histogram timer: serve latency lands in the
+        // `lg.handle` histogram either way, and with tracing enabled each
+        // request also becomes a trace-tree child of whatever span issued
+        // it (collection loop or TCP serve), so per-request cost is
+        // attributable in the self-time profile.
+        let _span = obs::span!(obs::names::LG_HANDLE);
         if !self.limiter.write().try_acquire(now_ms) {
             m.rate_limited.inc();
             return Err(LgError::RateLimited);

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::api::{LgError, LgRequest, LgResponse};
+use crate::api::{LgError, LgRequest, LgResponse, TraceContext, TracedRequest};
 use crate::client::LgTransport;
 use crate::server::LgServer;
 
@@ -148,10 +148,25 @@ fn serve_connection(
                 continue;
             }
             let now_ms = start.elapsed().as_millis() as u64;
-            let result: Result<LgResponse, LgError> = match serde_json::from_str(&line) {
-                Ok(req) => lg.handle(&req, now_ms),
-                Err(e) => Err(LgError::Transport(format!("bad request: {e}"))),
-            };
+            // A frame is either a trace-wrapped request or a bare one
+            // (untraced clients keep working); the two shapes cannot be
+            // confused, so try the wrapped form first.
+            let result: Result<LgResponse, LgError> =
+                match serde_json::from_str::<TracedRequest>(&line) {
+                    Ok(tr) => {
+                        let _ctx = obs::trace::adopt_wire(obs::trace::WireCtx {
+                            trace_id: tr.trace.trace_id,
+                            span_id: tr.trace.span_id,
+                            slot: tr.trace.slot,
+                        });
+                        let _span = obs::span!(obs::names::LG_SERVE);
+                        lg.handle(&tr.req, now_ms)
+                    }
+                    Err(_) => match serde_json::from_str::<LgRequest>(&line) {
+                        Ok(req) => lg.handle(&req, now_ms),
+                        Err(e) => Err(LgError::Transport(format!("bad request: {e}"))),
+                    },
+                };
             let mut out = serde_json::to_string(&result)
                 .unwrap_or_else(|e| format!("{{\"Err\":{{\"Transport\":\"encode: {e}\"}}}}"));
             out.push('\n');
@@ -185,8 +200,20 @@ impl LgTransport for TcpLgClient {
     }
 
     fn request(&mut self, req: &LgRequest, _now_ms: u64) -> Result<LgResponse, LgError> {
-        let mut line =
-            serde_json::to_string(req).map_err(|e| LgError::Transport(format!("encode: {e}")))?;
+        // While tracing, carry the caller's context in the frame so the
+        // server's serving spans join the caller's trace tree.
+        let mut line = match obs::trace::wire_ctx() {
+            Some(ctx) => serde_json::to_string(&TracedRequest {
+                trace: TraceContext {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    slot: ctx.slot,
+                },
+                req: req.clone(),
+            }),
+            None => serde_json::to_string(req),
+        }
+        .map_err(|e| LgError::Transport(format!("encode: {e}")))?;
         line.push('\n');
         self.writer
             .write_all(line.as_bytes())
@@ -294,6 +321,43 @@ mod tests {
             0,
             "closed connections' workers were never reaped"
         );
+        server.stop();
+    }
+
+    #[test]
+    fn traced_request_parents_server_span_to_client_span() {
+        let registry = obs::global();
+        registry.enable_tracing();
+        let server = TcpLgServer::spawn(lg()).unwrap();
+        let mut client = TcpLgClient::connect(server.addr()).unwrap();
+        let client_ids;
+        {
+            let _span = registry.span("lg.client.collect_ms");
+            client_ids = obs::trace::capture()
+                .and_then(|c| c.ids)
+                .expect("tracing on");
+            client
+                .request(&LgRequest::Summary { afi: Afi::Ipv4 }, 0)
+                .unwrap();
+        }
+        // The server worker thread records lg.serve into the same global
+        // registry (same process); wait for it to land.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let serve = loop {
+            if let Some(s) = registry
+                .trace_spans()
+                .into_iter()
+                .find(|s| s.name == obs::names::LG_SERVE && s.parent_id == client_ids.span_id)
+            {
+                break Some(s);
+            }
+            if Instant::now() >= deadline {
+                break None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let serve = serve.expect("lg.serve span parented to the client span");
+        assert_eq!(serve.trace_id, client_ids.trace_id);
         server.stop();
     }
 

@@ -43,6 +43,12 @@
 //! to a bounded ring buffer and can be exported as JSONL (one JSON object per
 //! line) via [`Registry::events_jsonl`] for offline trace inspection.
 //!
+//! With [`Registry::enable_tracing`], spans gain deterministic
+//! trace/span/parent IDs forming a causal tree — propagated across `par`
+//! workers and the looking-glass transport — that exports as Chrome
+//! `trace_event` JSON, collapsed stacks, and a self-time profile. See the
+//! [`trace`] module.
+//!
 //! # Snapshots and exposition
 //!
 //! [`Registry::snapshot`] captures a point-in-time [`Snapshot`] of every
@@ -72,6 +78,7 @@ pub mod names;
 mod report;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use report::{render_counters, render_report, top_spans, SpanSummary};

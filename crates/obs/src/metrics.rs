@@ -1,7 +1,7 @@
 //! Instrument handles and the registry that mints them.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,6 +9,11 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::snapshot::{HistogramSnapshot, Snapshot};
 use crate::span::{EventRing, Span, SpanEvent};
+use crate::trace::TraceSpan;
+
+/// Hard cap on buffered trace spans per registry; recording stops (and
+/// is counted as dropped by the length plateau) beyond it.
+const TRACE_SPAN_CAP: usize = 1 << 20;
 
 /// Number of histogram buckets: bucket 0 holds zero, bucket `i` (1..=64)
 /// holds values in `[2^(i-1), 2^i)`.
@@ -228,6 +233,14 @@ pub(crate) struct Shared {
     gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: RwLock<BTreeMap<String, Arc<HistogramCore>>>,
     pub(crate) events: Mutex<EventRing>,
+    /// Whether finished spans are recorded as trace-tree nodes.
+    tracing: AtomicBool,
+    /// Finished trace spans, in completion order (the tree structure
+    /// lives in the IDs, not in this ordering).
+    traces: Mutex<Vec<TraceSpan>>,
+    /// Per-name root slot counters; reset by [`Registry::take_trace_spans`]
+    /// so consecutive traces mint identical root IDs.
+    root_slots: Mutex<BTreeMap<String, u64>>,
 }
 
 /// A collection of named instruments.
@@ -259,6 +272,9 @@ impl Registry {
                 gauges: RwLock::new(BTreeMap::new()),
                 histograms: RwLock::new(BTreeMap::new()),
                 events: Mutex::new(EventRing::disabled()),
+                tracing: AtomicBool::new(false),
+                traces: Mutex::new(Vec::new()),
+                root_slots: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -373,6 +389,71 @@ impl Registry {
             }
         }
         out
+    }
+
+    /// Turn on causal tracing: finished spans are recorded with
+    /// deterministic trace/span/parent IDs (see [`crate::trace`]) until
+    /// drained with [`Registry::take_trace_spans`].
+    pub fn enable_tracing(&self) {
+        if let Some(shared) = &self.inner {
+            shared.tracing.store(true, Ordering::Relaxed);
+            crate::trace::set_enabled(true);
+        }
+    }
+
+    /// Whether this registry records trace spans.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.tracing.load(Ordering::Relaxed))
+    }
+
+    /// Copy of the buffered trace spans, in completion order.
+    pub fn trace_spans(&self) -> Vec<TraceSpan> {
+        match &self.inner {
+            Some(shared) => shared.traces.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain the buffered trace spans and start a fresh trace epoch:
+    /// the per-name root slot counters reset, so the next trace mints
+    /// the same root IDs as this one did. Two identical runs separated
+    /// by a `take_trace_spans` therefore produce byte-identical
+    /// [`crate::trace::tree_digest`]s.
+    pub fn take_trace_spans(&self) -> Vec<TraceSpan> {
+        match &self.inner {
+            Some(shared) => {
+                shared.root_slots.lock().clear();
+                std::mem::take(&mut *shared.traces.lock())
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Next root slot for a span named `name` opened with no enclosing
+    /// context (per-name counter, reset each trace epoch).
+    pub(crate) fn next_root_slot(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(shared) => {
+                let mut slots = shared.root_slots.lock();
+                let slot = slots.entry(name.to_string()).or_insert(0);
+                let v = *slot;
+                *slot += 1;
+                v
+            }
+            None => 0,
+        }
+    }
+
+    /// Buffer one finished trace span (bounded by an internal cap).
+    pub(crate) fn record_trace(&self, span: TraceSpan) {
+        if let Some(shared) = &self.inner {
+            let mut traces = shared.traces.lock();
+            if traces.len() < TRACE_SPAN_CAP {
+                traces.push(span);
+            }
+        }
     }
 
     pub(crate) fn shared(&self) -> Option<&Arc<Shared>> {

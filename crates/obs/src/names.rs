@@ -79,6 +79,8 @@ pub const LG_FAILURES_INJECTED: &str = "lg.failures_injected";
 pub const LG_PAGES_TRUNCATED: &str = "lg.pages_truncated";
 /// Wall-clock time to serve one request, nanoseconds.
 pub const LG_HANDLE: &str = "lg.handle";
+/// Span: serve one TCP-framed request (trace-adopted on the server).
+pub const LG_SERVE: &str = "lg.serve";
 /// Requests issued by the collector (including retries).
 pub const LG_CLIENT_REQUESTS: &str = "lg.client.requests";
 /// Transient request failures absorbed by retrying.
@@ -110,6 +112,8 @@ pub const SIM_TIMELINE_DAY: &str = "sim.timeline_day";
 pub const SIM_SERIES_POINTS: &str = "sim.series_points";
 /// Timeline days skipped by simulated collection outages.
 pub const SIM_OUTAGE_DAYS: &str = "sim.outage_days";
+/// Span: generate one (IXP, AFI) unit of a timeline series.
+pub const SIM_SERIES_UNIT: &str = "sim.series_unit";
 /// Snapshots collected by scenario runs.
 pub const SIM_SNAPSHOTS_COLLECTED: &str = "sim.snapshots_collected";
 /// Collection attempts that failed entirely.
@@ -127,6 +131,8 @@ pub const CHAOS_FAULTS_INJECTED: &str = "chaos.faults_injected";
 pub const CHAOS_ORACLE_VIOLATIONS: &str = "chaos.oracle_violations";
 /// Logical milliseconds elapsed on a campaign's virtual clock.
 pub const CHAOS_VIRTUAL_MS: &str = "chaos.virtual_ms";
+/// Span: one whole chaos corpus (the par fan-out over seeds).
+pub const CHAOS_CORPUS: &str = "chaos.corpus";
 
 /// Per-fault-class injection counter: `chaos.faults_injected.<class>`.
 pub fn chaos_fault(class: &str) -> String {
@@ -146,8 +152,23 @@ pub const PAR_TASKS: &str = "par.tasks";
 pub const PAR_STEALS: &str = "par.steals";
 /// Tasks not yet completed in the current `map_indexed` call.
 pub const PAR_QUEUE_DEPTH: &str = "par.queue_depth";
-/// Per-task wall time, nanoseconds.
+/// Per-task wall time, nanoseconds (aggregate across call sites).
 pub const PAR_TASK_NS: &str = "par.task_ns";
+
+/// Per-call-site task-time histogram: `par.task_ns/<enclosing span name>`,
+/// e.g. `par.task_ns/sim.scenario`. The site is the span active on the
+/// submitting thread, so pool overhead attributes to the pipeline stage
+/// that paid it rather than one undifferentiated bucket.
+pub fn par_task_site(site: &str) -> String {
+    format!("{PAR_TASK_NS}/{site}")
+}
+
+// --- analysis ---
+
+/// Span: build the full table/figure report.
+pub const ANALYSIS_FULL_REPORT: &str = "analysis.full_report";
+/// Span: one (IXP, AFI) unit of the report fan-out.
+pub const ANALYSIS_REPORT_UNIT: &str = "analysis.report_unit";
 
 // --- repro binary ---
 
@@ -188,6 +209,7 @@ pub const ALL: &[&str] = &[
     LG_FAILURES_INJECTED,
     LG_PAGES_TRUNCATED,
     LG_HANDLE,
+    LG_SERVE,
     LG_CLIENT_REQUESTS,
     LG_CLIENT_RETRIES,
     LG_CLIENT_SNAPSHOTS_COMPLETE,
@@ -198,6 +220,7 @@ pub const ALL: &[&str] = &[
     SIM_SCENARIO,
     SIM_COLLECT_IXP,
     SIM_GENERATE_SERIES,
+    SIM_SERIES_UNIT,
     SIM_DAY,
     SIM_TIMELINE_DAY,
     SIM_SERIES_POINTS,
@@ -209,10 +232,13 @@ pub const ALL: &[&str] = &[
     CHAOS_FAULTS_INJECTED,
     CHAOS_ORACLE_VIOLATIONS,
     CHAOS_VIRTUAL_MS,
+    CHAOS_CORPUS,
     PAR_TASKS,
     PAR_STEALS,
     PAR_QUEUE_DEPTH,
     PAR_TASK_NS,
+    ANALYSIS_FULL_REPORT,
+    ANALYSIS_REPORT_UNIT,
     REPRO_BUILD_WORLD,
     REPRO_CHECK,
 ];
@@ -226,13 +252,25 @@ pub const DYNAMIC_PREFIXES: &[&str] = &[
     "chaos.seed",
 ];
 
-/// True when `name` is registered: either a static [`ALL`] entry or an
-/// extension of a [`DYNAMIC_PREFIXES`] family.
+/// True when `name` is registered: a static [`ALL`] entry, an extension
+/// of a [`DYNAMIC_PREFIXES`] family, or a [`par_task_site`] name whose
+/// site suffix is itself registered.
 pub fn is_registered(name: &str) -> bool {
-    ALL.contains(&name)
+    if ALL.contains(&name)
         || DYNAMIC_PREFIXES.iter().any(|p| {
             name.len() > p.len() + 1 && name.starts_with(p) && name.as_bytes()[p.len()] == b'.'
         })
+    {
+        return true;
+    }
+    // the per-site task family: par.task_ns/<registered site name>
+    match name.strip_prefix(PAR_TASK_NS) {
+        Some(rest) => match rest.strip_prefix('/') {
+            Some(site) => !site.is_empty() && is_registered(site),
+            None => false,
+        },
+        None => false,
+    }
 }
 
 #[cfg(test)]
@@ -274,5 +312,17 @@ mod tests {
         assert!(!is_registered("repro"));
         assert!(!is_registered("repro."));
         assert!(!is_registered("made.up"));
+    }
+
+    #[test]
+    fn par_task_site_family_registers() {
+        assert!(is_registered(&par_task_site(SIM_SCENARIO)));
+        assert!(is_registered(&par_task_site(ANALYSIS_FULL_REPORT)));
+        // even a dynamic site name is fine, as long as it is registered
+        assert!(is_registered(&par_task_site(&chaos_seed_span(3))));
+        // ...but an unregistered site, empty site, or bare prefix is not
+        assert!(!is_registered(&par_task_site("made.up")));
+        assert!(!is_registered(&par_task_site("")));
+        assert!(!is_registered("par.task_ns/"));
     }
 }

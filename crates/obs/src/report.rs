@@ -35,7 +35,7 @@ pub fn top_spans(snapshot: &Snapshot, n: usize) -> Vec<SpanSummary> {
     spans
 }
 
-fn fmt_ns(ns: f64) -> String {
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2} s", ns / 1e9)
     } else if ns >= 1e6 {

@@ -101,6 +101,7 @@ struct SpanInner {
     name: &'static str,
     start: Instant,
     start_off_ns: u64,
+    trace: crate::trace::ActiveSpan,
 }
 
 impl Span {
@@ -110,6 +111,7 @@ impl Span {
         };
         let start_off_ns = shared.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let hist = registry.histogram(name);
+        let trace = crate::trace::begin_span(&registry, name);
         Span {
             inner: Some(SpanInner {
                 registry,
@@ -117,6 +119,7 @@ impl Span {
                 name,
                 start: Instant::now(),
                 start_off_ns,
+                trace,
             }),
         }
     }
@@ -132,6 +135,20 @@ impl Drop for Span {
         };
         let dur_ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         inner.hist.record(dur_ns);
+        crate::trace::end_span(&inner.trace);
+        if let Some(rec) = inner.trace.rec {
+            if inner.registry.tracing_enabled() {
+                inner.registry.record_trace(crate::trace::TraceSpan {
+                    trace_id: rec.trace_id,
+                    span_id: rec.span_id,
+                    parent_id: rec.parent_id,
+                    slot: rec.slot,
+                    name: inner.name.to_string(),
+                    start_ns: inner.start_off_ns,
+                    dur_ns,
+                });
+            }
+        }
         if let Some(shared) = inner.registry.shared() {
             let mut ring = shared.events.lock();
             if ring.is_enabled() {

@@ -107,13 +107,20 @@ struct PoolMetrics {
 }
 
 impl PoolMetrics {
-    fn mint() -> Self {
+    /// `site` is the span enclosing the `map_indexed` call on the
+    /// submitting thread: when known, per-task time also lands in the
+    /// call-site histogram `par.task_ns/<site>` so pool overhead is
+    /// attributable per pipeline stage.
+    fn mint(site: Option<&str>) -> Self {
         let r = obs::global();
         Self {
             tasks: r.counter(obs::names::PAR_TASKS),
             steals: r.counter(obs::names::PAR_STEALS),
             queue_depth: r.gauge(obs::names::PAR_QUEUE_DEPTH),
-            task_ns: r.histogram(obs::names::PAR_TASK_NS),
+            task_ns: match site {
+                Some(s) => r.histogram(&obs::names::par_task_site(s)),
+                None => r.histogram(obs::names::PAR_TASK_NS),
+            },
         }
     }
 }
@@ -141,10 +148,15 @@ where
 {
     let n = items.len();
     let workers = threads().min(n);
-    let m = PoolMetrics::mint();
+    // Capture the submitting thread's trace context once: tasks reattach
+    // to it (same in the serial fallback, so the trace tree is identical)
+    // and its span name labels the per-site task histogram.
+    let parent = obs::trace::capture();
+    let m = PoolMetrics::mint(parent.as_ref().map(|c| c.name));
     if workers <= 1 || n <= 1 || in_worker() {
         let mut out = Vec::with_capacity(n);
         for (i, item) in items.iter().enumerate() {
+            let _task = obs::trace::attach_task(parent.as_ref(), i);
             let timer = m.task_ns.start();
             out.push(f(i, item));
             timer.stop();
@@ -168,6 +180,7 @@ where
         let blocks = &blocks;
         let completed = &completed;
         let f = &f;
+        let parent = &parent;
         let queue_depth = &m.queue_depth;
         let task_ns = &m.task_ns;
         let handles: Vec<_> = (0..workers)
@@ -189,6 +202,7 @@ where
                             if offset > 0 {
                                 steals += 1;
                             }
+                            let _task = obs::trace::attach_task(parent.as_ref(), idx);
                             let timer = task_ns.start();
                             local.push((idx, f(idx, &items[idx])));
                             timer.stop();
@@ -321,6 +335,43 @@ mod tests {
         let after = obs::global().counter(obs::names::PAR_TASKS).get();
         assert_eq!(after - before, 64);
         assert_eq!(obs::global().gauge(obs::names::PAR_QUEUE_DEPTH).get(), 0);
+    }
+
+    #[test]
+    fn task_spans_parent_to_submitting_span() {
+        // A span opened inside a worker task must parent to the span
+        // active on the submitting thread, at slot base index << 32.
+        let registry = obs::global();
+        registry.enable_tracing();
+        let items: Vec<u64> = (0..8).collect();
+        let (submit_ids, spans) = with_threads(4, || {
+            let _ = registry.take_trace_spans();
+            let submit_ids;
+            {
+                let parent = registry.span("par.unit_parent");
+                let _ = parent; // span stays open across the map
+                submit_ids = obs::trace::capture()
+                    .and_then(|c| c.ids)
+                    .expect("tracing on");
+                map_indexed(&items, |_, &x| {
+                    let _child = registry.span("par.unit_child");
+                    x
+                });
+            }
+            (submit_ids, registry.take_trace_spans())
+        });
+        let children: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "par.unit_child")
+            .collect();
+        assert_eq!(children.len(), 8);
+        let mut slots: Vec<u64> = children.iter().map(|s| s.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..8u64).map(|i| i << 32).collect::<Vec<_>>());
+        for child in children {
+            assert_eq!(child.parent_id, submit_ids.span_id);
+            assert_eq!(child.trace_id, submit_ids.trace_id);
+        }
     }
 
     #[test]

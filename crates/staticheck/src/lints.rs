@@ -19,7 +19,17 @@
 //! * **SC105** — no `std::thread::spawn` / `thread::scope` /
 //!   `thread::Builder` outside the `par` executor and the looking-glass
 //!   TCP transport: all data-parallel threading goes through the pool,
-//!   whose ordered joins keep artifacts deterministic.
+//!   whose ordered joins keep artifacts deterministic;
+//! * **SC106** — no trace-context plumbing (`trace::capture` /
+//!   `trace::attach_task` / `trace::adopt_wire`) outside `obs`, the
+//!   `par` executor and the LG transport: task bodies get their trace
+//!   parent from the pool, and hand-rolled attachment would fork the
+//!   deterministic ID scheme the trace-equivalence oracle relies on.
+//!
+//! SC103/SC104 cover the trace names too: `obs::span!` mints both the
+//! histogram and the trace span from the same `obs::names` constant,
+//! and the registry check extends to dynamic families like
+//! `par.task_ns/<site>` because those join existing registered names.
 //!
 //! The scanner first *cleans* each file: comment bodies and string
 //! contents are replaced by spaces (quotes are kept so SC103 can still
@@ -135,6 +145,9 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
         if !may_spawn {
             check_thread_free(rel, lineno, line, out);
         }
+        if !may_spawn && !in_obs {
+            check_trace_context(rel, lineno, line, out);
+        }
     }
 }
 
@@ -194,6 +207,31 @@ fn check_thread_free(rel: &str, lineno: usize, line: &str, out: &mut Vec<Diagnos
                 format!(
                     "`{needle}` outside crates/par: route data parallelism \
                      through par::map_indexed so joins stay ordered"
+                ),
+            ));
+        }
+    }
+}
+
+/// SC106: trace-context plumbing outside `obs`, the `par` pool and the
+/// LG transport. `obs::span!` inside a task body already parents to the
+/// submitting span via the context the pool attached; calling the
+/// attachment API directly would graft spans onto the wrong parent and
+/// break the byte-identical trace-tree oracle.
+fn check_trace_context(rel: &str, lineno: usize, line: &str, out: &mut Vec<Diagnostic>) {
+    for needle in [
+        "trace::capture(",
+        "trace::attach_task(",
+        "trace::adopt_wire(",
+    ] {
+        if line.contains(needle) {
+            out.push(Diagnostic::new(
+                "SC106",
+                Severity::Error,
+                format!("{rel}:{lineno}"),
+                format!(
+                    "`{needle}` outside the trace plumbing: open spans with \
+                     obs::span! and let par/looking-glass carry the context"
                 ),
             ));
         }
@@ -567,6 +605,26 @@ mod tests {
         assert_eq!(lint_text("crates/x/src/lib.rs", scoped)[0].code, "SC105");
         // test code is exempt like the other lints
         let test_src = "#[cfg(test)]\nmod tests {\n fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_text("crates/x/src/lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn trace_context_flagged_outside_plumbing() {
+        let src = "fn f() { let p = obs::trace::capture(); }\n";
+        let diags = lint_text("crates/analysis/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SC106");
+        // sanctioned sites: obs itself, the pool, the LG transport
+        assert!(lint_text("crates/obs/src/trace.rs", src).is_empty());
+        assert!(lint_text("crates/par/src/lib.rs", src).is_empty());
+        assert!(lint_text("crates/looking-glass/src/transport.rs", src).is_empty());
+        // attach/adopt count too
+        let attach = "fn f() { let _g = obs::trace::attach_task(None, 0); }\n";
+        assert_eq!(lint_text("crates/x/src/lib.rs", attach)[0].code, "SC106");
+        let adopt = "fn f() { let _g = obs::trace::adopt_wire(ctx); }\n";
+        assert_eq!(lint_text("crates/x/src/lib.rs", adopt)[0].code, "SC106");
+        // test modules are exempt like the other lints
+        let test_src = "#[cfg(test)]\nmod tests {\n fn g() { let p = obs::trace::capture(); }\n}\n";
         assert!(lint_text("crates/x/src/lib.rs", test_src).is_empty());
     }
 

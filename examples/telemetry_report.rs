@@ -2,9 +2,12 @@
 //!
 //! Runs a small two-IXP scenario (world build → LG collection) against
 //! the process-wide [`obs::global()`] registry with the JSONL event
-//! ring enabled, then prints the metrics snapshot, the five slowest
-//! spans by total time, and a taste of the trace log — the same
-//! telemetry `repro` writes to `telemetry.json` next to its tables.
+//! ring and causal tracing enabled, then prints the metrics snapshot,
+//! the five slowest spans by total time, the self-time profile from the
+//! trace tree, and a taste of the trace log — the same telemetry
+//! `repro` writes to `telemetry.json` next to its tables. The full
+//! trace lands in `target/telemetry_trace.json` as Chrome `trace_event`
+//! JSON: open it at <https://ui.perfetto.dev> to see the span tree.
 //!
 //! ```text
 //! cargo run --release --example telemetry_report
@@ -17,6 +20,7 @@ use ixp_sim::world::WorldConfig;
 fn main() {
     let registry = obs::global();
     registry.enable_events(1024);
+    registry.enable_tracing();
     let baseline = registry.snapshot();
 
     // a small scenario: two IXPs at 5% scale, with a flaky LG so the
@@ -40,6 +44,22 @@ fn main() {
     // everything this run recorded, as counters/gauges + slowest spans
     let telemetry = registry.snapshot().diff(&baseline);
     print!("{}", obs::render_report(&telemetry, 5));
+
+    // the causal trace: self-time per span family, plus the full tree
+    // as Chrome trace_event JSON for Perfetto
+    let spans = registry.take_trace_spans();
+    println!("\nself-time profile ({} spans traced):", spans.len());
+    print!(
+        "{}",
+        obs::trace::render_self_time(&obs::trace::self_time_table(&spans), 5)
+    );
+    let trace_path = std::path::Path::new("target").join("telemetry_trace.json");
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write(&trace_path, obs::trace::chrome_trace_json(&spans)).unwrap();
+    println!(
+        "wrote {} — load it at https://ui.perfetto.dev",
+        trace_path.display()
+    );
 
     // the span event ring doubles as a JSONL trace log
     let events = registry.events();

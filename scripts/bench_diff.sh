@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The bench-regression gate: diff a bench snapshot against the committed
+# baseline and exit nonzero on any regression beyond tolerance.
+#
+#   scripts/bench_diff.sh                         # fresh snapshot vs BENCH_5.json
+#   scripts/bench_diff.sh target/current.json     # existing snapshot vs BENCH_5.json
+#   scripts/bench_diff.sh current.json base.json  # explicit pair
+#
+#   BENCH_SMOKE=1 scripts/bench_diff.sh   # CI smoke mode: tiny measuring
+#                                         # windows, few iterations, wide
+#                                         # tolerance — catches 2x-class
+#                                         # regressions in seconds
+#   PERF_TOLERANCE=1.5 scripts/...        # widen/narrow every band
+#
+# The per-bench bands and the report live in `crates/bench/src/perf.rs`
+# (`repro perf --check` is the actual gate; this script wraps it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+current="${1:-}"
+baseline="${2:-BENCH_5.json}"
+
+if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
+    # Smoke: shrink the criterion stand-in's measuring window and
+    # iteration floor, and widen the bands to match the extra noise.
+    export BENCH_MEASUREMENT_MS="${BENCH_MEASUREMENT_MS:-25}"
+    export BENCH_MIN_ITERS="${BENCH_MIN_ITERS:-3}"
+    tol="${PERF_TOLERANCE:-2.5}"
+else
+    tol="${PERF_TOLERANCE:-1.0}"
+fi
+
+args=(perf --check --baseline "$baseline" --tolerance "$tol")
+if [[ -n "$current" ]]; then
+    args+=(--current "$current")
+fi
+
+exec cargo run -q --release -p bench --bin repro -- "${args[@]}"

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# Snapshot the criterion suite into BENCH_5.json: bench name → median
-# ns/iter, so the perf trajectory is recorded next to the code.
+# Snapshot the criterion suite: bench name → median ns/iter, so the perf
+# trajectory is recorded next to the code.
 #
-#   scripts/bench_snapshot.sh                 # one rep of every bench
-#   BENCH_REPS=3 scripts/bench_snapshot.sh    # median over 3 reps
-#   BENCH_FILTER=parallel scripts/...         # only one bench target
+#   scripts/bench_snapshot.sh                    # write BENCH_5.json
+#   scripts/bench_snapshot.sh target/current.json  # write elsewhere
+#   BENCH_REPS=3 scripts/bench_snapshot.sh       # median over 3 reps
+#   BENCH_FILTER=parallel scripts/...            # only one bench target
 #
 # The vendored criterion stand-in prints one `bench <name> <ns> ns/iter`
 # line per benchmark; this script collects those lines over BENCH_REPS
-# runs and writes the per-name median to BENCH_OUT (default BENCH_5.json).
+# runs and writes the per-name median, wrapped in a `{meta, benches}`
+# envelope recording the thread count, CPU count, date (override with
+# BENCH_DATE for reproducible fixtures) and rep count of the run.
+# `repro perf` / scripts/bench_diff.sh accept both this envelope and the
+# legacy flat `{"name": ns}` form the committed baseline uses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 reps="${BENCH_REPS:-1}"
-out="${BENCH_OUT:-BENCH_5.json}"
+out="${1:-${BENCH_OUT:-BENCH_5.json}}"
 filter="${BENCH_FILTER:-}"
+threads="${PAR_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+cpus="$(nproc 2>/dev/null || echo 1)"
+date_utc="${BENCH_DATE:-$(date -u +%Y-%m-%d)}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -26,12 +34,13 @@ for i in $(seq "$reps"); do
     cargo "${bench_args[@]}" 2>/dev/null | grep '^bench ' >>"$tmp"
 done
 
-awk '{ print $2, $3 }' "$tmp" | sort -k1,1 -k2,2g | awk '
+awk '{ print $2, $3 }' "$tmp" | sort -k1,1 -k2,2g | awk \
+    -v threads="$threads" -v cpus="$cpus" -v date_utc="$date_utc" -v reps="$reps" '
     function flush() {
         if (cnt == 0) return
         mid = int((cnt + 1) / 2)
         med = (cnt % 2 == 1) ? vals[mid] : (vals[mid] + vals[mid + 1]) / 2
-        entries[++m] = "  \"" name "\": " med
+        entries[++m] = "    \"" name "\": " med
         cnt = 0
     }
     $1 != name { flush(); name = $1 }
@@ -39,9 +48,14 @@ awk '{ print $2, $3 }' "$tmp" | sort -k1,1 -k2,2g | awk '
     END {
         flush()
         print "{"
+        printf "  \"meta\": {\"threads\": %d, \"num_cpus\": %d, \"date\": \"%s\", \"reps\": %d},\n", \
+            threads, cpus, date_utc, reps
+        print "  \"benches\": {"
         for (i = 1; i <= m; i++) printf "%s%s\n", entries[i], (i < m ? "," : "")
+        print "  }"
         print "}"
     }
 ' >"$out"
 
-echo "wrote $out ($(grep -c '":' "$out") benchmark(s), $reps rep(s))"
+n_benches="$(grep -c '^    "' "$out" || true)"
+echo "wrote $out ($n_benches benchmark(s), $reps rep(s), $threads thread(s))"

@@ -42,6 +42,16 @@ if [[ "$fast" -eq 0 ]]; then
     CHAOS_SEEDS="${CHAOS_SEEDS:-32}" PAR_THREADS=4 cargo test -q -p chaos --release
 fi
 
+# Bench-regression gate, smoke flavor: tiny measuring windows and few
+# iterations (BENCH_SMOKE=1), with correspondingly wide tolerance bands —
+# catches 2x-class regressions against the committed BENCH_5.json in
+# seconds. `scripts/bench_diff.sh` alone (no smoke) is the full gate to
+# run before updating the baseline.
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> bench-regression gate (smoke: repro perf --check)"
+    BENCH_SMOKE=1 scripts/bench_diff.sh
+fi
+
 echo "==> staticheck (policy verifier + workspace lints)"
 cargo run -q -p staticheck -- all
 

@@ -16,6 +16,29 @@
 use std::hint;
 use std::time::{Duration, Instant};
 
+/// Cap a measuring window at `BENCH_MEASUREMENT_MS` milliseconds when
+/// the env var is set (CI smoke runs shrink every bench this way
+/// without touching the bench sources).
+fn capped_measurement(d: Duration) -> Duration {
+    match std::env::var("BENCH_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        Some(ms) => d.min(Duration::from_millis(ms.max(1))),
+        None => d,
+    }
+}
+
+/// The minimum iterations per measurement: 10 by default,
+/// `BENCH_MIN_ITERS` when set (smoke runs lower it).
+fn min_iters() -> u128 {
+    std::env::var("BENCH_MIN_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u128>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(10)
+}
+
 /// Prevent the optimizer from deleting a computed value.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
@@ -62,7 +85,8 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
-        let target = (self.measurement_time.as_nanos() / per_iter.max(1)).clamp(10, 10_000_000);
+        let target =
+            (self.measurement_time.as_nanos() / per_iter.max(1)).clamp(min_iters(), 10_000_000);
 
         let start = Instant::now();
         for _ in 0..target {
@@ -83,7 +107,7 @@ impl Bencher {
         let warm_start = Instant::now();
         black_box(routine(input));
         let per_iter = warm_start.elapsed().as_nanos().max(1);
-        let target = (self.measurement_time.as_nanos() / per_iter).clamp(10, 1_000_000);
+        let target = (self.measurement_time.as_nanos() / per_iter).clamp(min_iters(), 1_000_000);
 
         let inputs: Vec<I> = (0..target).map(|_| setup()).collect();
         let start = Instant::now();
@@ -126,15 +150,16 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Self {
-            measurement_time: Duration::from_millis(200),
+            measurement_time: capped_measurement(Duration::from_millis(200)),
         }
     }
 }
 
 impl Criterion {
-    /// Set the per-benchmark measuring window.
+    /// Set the per-benchmark measuring window (capped by
+    /// `BENCH_MEASUREMENT_MS` when set).
     pub fn measurement_time(mut self, d: Duration) -> Self {
-        self.measurement_time = d;
+        self.measurement_time = capped_measurement(d);
         self
     }
 
@@ -183,9 +208,10 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Set the group's measuring window.
+    /// Set the group's measuring window (capped by
+    /// `BENCH_MEASUREMENT_MS` when set).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.criterion.measurement_time = d;
+        self.criterion.measurement_time = capped_measurement(d);
         self
     }
 
