@@ -163,12 +163,25 @@ fn main() {
             let _stage = registry.histogram(obs::names::REPRO_CHECK).start();
             run_check(&ixps)
         };
-        if !clean {
-            eprintln!(
-                "check: error-grade policy findings — fix the scheme or waive the \
-                 finding in staticheck.toml before reproducing results"
-            );
-            std::process::exit(1);
+        match clean {
+            Err(msg) => {
+                // staticheck's exit 2: the analysis itself did not run
+                eprintln!(
+                    "check: static verification did not complete ({msg}) — an \
+                     internal error, not a policy finding; fix staticheck.toml \
+                     syntax and rerun"
+                );
+                std::process::exit(2);
+            }
+            Ok(false) => {
+                // staticheck's exit 1: real error-grade findings remain
+                eprintln!(
+                    "check: error-grade policy findings — fix the scheme or waive \
+                     the finding in staticheck.toml before reproducing results"
+                );
+                std::process::exit(1);
+            }
+            Ok(true) => {}
         }
     }
 
@@ -367,38 +380,64 @@ fn run_perf(args: &[String]) -> i32 {
 }
 
 /// Pre-flight: statically verify every configured IXP's route-server
-/// config + dictionary with `staticheck` before building any world.
-/// Returns false when any IXP has an error-grade finding.
-fn run_check(ixps: &[IxpId]) -> bool {
+/// config + dictionary with `staticheck` before building any world,
+/// then cross-check the dictionaries against each other (SC006). The
+/// repo allowlist (`staticheck.toml`) is honored, mirroring the CLI
+/// gate. `Ok(false)` means error-grade findings remain (staticheck
+/// exit 1); `Err` means the verification itself failed (staticheck
+/// exit 2) — a malformed allowlist, not a policy finding.
+fn run_check(ixps: &[IxpId]) -> Result<bool, String> {
+    let allow_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../staticheck.toml");
+    let allow = staticheck::Allowlist::load(&allow_path).map_err(|e| e.to_string())?;
+    let gating = |diags: &[staticheck::Diagnostic]| -> Vec<staticheck::Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.severity == staticheck::Severity::Error && allow.waiver(d).is_none())
+            .cloned()
+            .collect()
+    };
     let mut t = TextTable::new(
         "pre-flight — static policy verification (staticheck)",
         &["IXP", "Errors", "Warnings", "Status"],
     );
     let mut clean = true;
+    let mut dicts = Vec::new();
     for ixp in ixps {
         let config = route_server::config::RsConfig::for_ixp(*ixp);
         let dict = community_dict::schemes::dictionary(*ixp);
         let diags = staticheck::policy::verify(&config, &dict, None);
-        let errors = diags
-            .iter()
-            .filter(|d| d.severity == staticheck::Severity::Error)
-            .count();
-        for d in diags
-            .iter()
-            .filter(|d| d.severity == staticheck::Severity::Error)
-        {
+        dicts.push(dict);
+        let errors = gating(&diags);
+        for d in &errors {
             eprintln!("check: {} {d}", ixp.short_name());
         }
-        clean &= errors == 0;
+        clean &= errors.is_empty();
         t.row([
             ixp.short_name().to_string(),
-            errors.to_string(),
-            (diags.len() - errors).to_string(),
-            if errors == 0 { "ok" } else { "FAIL" }.to_string(),
+            errors.len().to_string(),
+            (diags.len() - errors.len()).to_string(),
+            if errors.is_empty() { "ok" } else { "FAIL" }.to_string(),
         ]);
     }
+    let drift = staticheck::policy::verify_cross_dictionaries(&dicts);
+    let drift_errors = gating(&drift);
+    for d in &drift_errors {
+        eprintln!("check: cross-IXP {d}");
+    }
+    clean &= drift_errors.is_empty();
+    t.row([
+        "cross-IXP".to_string(),
+        drift_errors.len().to_string(),
+        (drift.len() - drift_errors.len()).to_string(),
+        if drift_errors.is_empty() {
+            "ok"
+        } else {
+            "FAIL"
+        }
+        .to_string(),
+    ]);
     println!("{}", t.render());
-    clean
+    Ok(clean)
 }
 
 fn run_table1(ctx: &Ctx) {

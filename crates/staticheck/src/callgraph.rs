@@ -1,0 +1,922 @@
+//! Item/brace-structure parsing and the workspace call graph.
+//!
+//! Built on [`crate::lexer`]: each file's token stream is walked once,
+//! recognizing `fn` items (through `mod`/`impl`/`trait` nesting, with
+//! `#[cfg(test)]` and `#[test]` regions dropped), recording per function
+//! its visibility, parameter types, call sites, and panic sites, plus
+//! per struct which fields hold `HashMap`/`HashSet`. The per-file
+//! symbol tables are then stitched into a [`CallGraph`] whose edges
+//! resolve call sites to workspace functions **by name** — a deliberate
+//! over-approximation (no type-directed method resolution without
+//! `syn`), kept useful by a stoplist of ubiquitous std method names
+//! that would otherwise wire everything to everything.
+//!
+//! Two reachability queries drive the dataflow lints:
+//! * *sink-reaching* — can this function reach serialized output,
+//!   digests, or metrics (SC107's interprocedural half);
+//! * *panic-reaching* — can a public entry point reach a panic site
+//!   (SC108), with the witness call chain.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name; macros carry a trailing `!` (`writeln!`).
+    pub callee: String,
+    /// Last path segment before the name for `qual::name(...)` calls
+    /// (`serde_json::to_string` → `Some("serde_json")`).
+    pub qualifier: Option<String>,
+    /// `recv.name(...)` rather than `name(...)`.
+    pub is_method: bool,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One panic site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// What panics (`unwrap`, `expect`, `panic!`, ...).
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One parsed function (or method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (no path; resolution is by name).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Unrestricted `pub` (not `pub(crate)` etc.).
+    pub is_pub: bool,
+    /// `Some(TypeName)` when defined inside `impl TypeName` (or
+    /// `impl Trait for TypeName`).
+    pub self_type: Option<String>,
+    /// Token range of the body in the file stream: `(open, close)`
+    /// indices of the braces; `open == close` means no body.
+    pub body: (usize, usize),
+    /// Parameter names whose declared type mentions `HashMap`/`HashSet`.
+    pub hash_params: Vec<String>,
+    /// Everything this body calls.
+    pub calls: Vec<CallSite>,
+    /// Panicking constructs in this body (SC101's needles, token-exact).
+    pub panics: Vec<PanicSite>,
+}
+
+/// The symbol table of one source file.
+#[derive(Debug, Default)]
+pub struct FileSyms {
+    /// Workspace-relative path (`crates/x/src/lib.rs`).
+    pub rel: String,
+    /// The full token stream (bodies index into it).
+    pub toks: Vec<Tok>,
+    /// Functions found (test regions excluded).
+    pub fns: Vec<FnDef>,
+    /// `(struct, field)` pairs whose type mentions `HashMap`/`HashSet`.
+    pub hash_fields: BTreeSet<(String, String)>,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 11] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "fn",
+];
+
+/// Ubiquitous std method/function names excluded from call-graph edges:
+/// resolving `x.get(...)` to some workspace `get` would wire unrelated
+/// code together and drown both reachability queries in noise.
+const EDGE_STOPLIST: [&str; 58] = [
+    "new",
+    "default",
+    "clone",
+    "insert",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "extend",
+    "contains",
+    "contains_key",
+    "remove",
+    "entry",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "min",
+    "max",
+    "cmp",
+    "eq",
+    "ne",
+    "fmt",
+    "from",
+    "into",
+    "to_owned",
+    "as_str",
+    "as_ref",
+    "as_bytes",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "filter",
+    "fold",
+    "any",
+    "all",
+    "find",
+    "position",
+    "keys",
+    "values",
+    "drain",
+    "clear",
+    "with_capacity",
+];
+
+/// Parse one file into its symbol table.
+pub fn parse_file(rel: &str, src: &str) -> FileSyms {
+    let toks = lex(src);
+    let mut syms = FileSyms {
+        rel: rel.to_string(),
+        toks,
+        fns: Vec::new(),
+        hash_fields: BTreeSet::new(),
+    };
+    let end = syms.toks.len();
+    let mut p = Parser { syms: &mut syms };
+    p.items(0, end, None);
+    syms
+}
+
+struct Parser<'a> {
+    syms: &'a mut FileSyms,
+}
+
+impl Parser<'_> {
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.syms.toks.get(i)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn ident_text(&self, i: usize) -> Option<&str> {
+        self.tok(i).and_then(|t| {
+            if t.kind == TokKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Index just past the delimiter-balanced group opening at `i`
+    /// (`toks[i]` must be `{`, `(`, or `[`).
+    fn skip_balanced(&self, i: usize) -> usize {
+        let (open, close) = match self.tok(i) {
+            Some(t) if t.is_punct('{') => ('{', '}'),
+            Some(t) if t.is_punct('(') => ('(', ')'),
+            Some(t) if t.is_punct('[') => ('[', ']'),
+            _ => return i + 1,
+        };
+        let mut depth = 0i32;
+        let mut j = i;
+        while let Some(t) = self.tok(j) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Index just past a generic parameter list opening at `i` (`<`).
+    /// `->` arrows inside bounds must not close the list.
+    fn skip_generics(&self, i: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while let Some(t) = self.tok(j) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                if j > 0 && self.is_punct(j - 1, '-') {
+                    // `->` arrow, not a close
+                } else {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                j = self.skip_balanced(j);
+                continue;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Parse an attribute opening at `i` (the `#`). Returns
+    /// `(next_index, is_test_attr)`.
+    fn attr(&self, i: usize) -> (usize, bool) {
+        let mut j = i + 1;
+        let inner = self.is_punct(j, '!');
+        if inner {
+            j += 1;
+        }
+        if !self.is_punct(j, '[') {
+            return (i + 1, false);
+        }
+        let end = self.skip_balanced(j);
+        if inner {
+            return (end, false);
+        }
+        let idents: Vec<&str> = self.syms.toks[j..end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // `#[test]` / `#[cfg(test)]`, but not `#[cfg(not(test))]`
+        let is_test = idents == ["test"]
+            || (idents.contains(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"));
+        (end, is_test)
+    }
+
+    /// Parse items in `[i, end)`; `self_type` is the enclosing impl's
+    /// type, if any.
+    fn items(&mut self, mut i: usize, end: usize, self_type: Option<&str>) {
+        let mut pending_pub = false;
+        let mut pending_test = false;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct('#') {
+                let (next, is_test) = self.attr(i);
+                pending_test |= is_test;
+                i = next;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    i = self.skip_balanced(i);
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    if self.is_punct(i + 1, '(') {
+                        // pub(crate) etc.: restricted, not public API
+                        i = self.skip_balanced(i + 1);
+                    } else {
+                        pending_pub = true;
+                        i += 1;
+                    }
+                }
+                "fn" => {
+                    i = self.function(i, pending_pub, pending_test, self_type);
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "mod" => {
+                    let mut j = i + 2; // mod <name>
+                    if self.is_punct(j, '{') {
+                        let close = self.skip_balanced(j);
+                        if !pending_test {
+                            self.items(j + 1, close - 1, self_type);
+                        }
+                        j = close;
+                    } else if self.is_punct(j, ';') {
+                        j += 1;
+                    }
+                    i = j;
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "impl" | "trait" => {
+                    // scan the header to the block, remembering the last
+                    // top-level type name (`impl Tr for Type` → Type)
+                    let mut j = i + 1;
+                    let mut last_ident: Option<String> = None;
+                    while let Some(h) = self.tok(j) {
+                        if h.is_punct('{') {
+                            break;
+                        }
+                        if h.is_punct('<') {
+                            j = self.skip_generics(j);
+                            continue;
+                        }
+                        if h.kind == TokKind::Ident
+                            && h.text != "for"
+                            && h.text != "where"
+                            && h.text != "dyn"
+                        {
+                            last_ident = Some(h.text.clone());
+                        }
+                        j += 1;
+                    }
+                    if self.is_punct(j, '{') {
+                        let close = self.skip_balanced(j);
+                        if !pending_test {
+                            self.items(j + 1, close - 1, last_ident.as_deref());
+                        }
+                        j = close;
+                    }
+                    i = j;
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "struct" => {
+                    i = self.structure(i);
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "enum" | "union" => {
+                    let mut j = i + 2;
+                    if self.is_punct(j, '<') {
+                        j = self.skip_generics(j);
+                    }
+                    while j < end && !self.is_punct(j, '{') && !self.is_punct(j, ';') {
+                        j += 1;
+                    }
+                    i = if self.is_punct(j, '{') {
+                        self.skip_balanced(j)
+                    } else {
+                        j + 1
+                    };
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "macro_rules" => {
+                    let mut j = i + 1;
+                    while j < end
+                        && !self.is_punct(j, '{')
+                        && !self.is_punct(j, '(')
+                        && !self.is_punct(j, '[')
+                    {
+                        j += 1;
+                    }
+                    i = self.skip_balanced(j);
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "const" | "static" if self.is_ident(i + 1, "fn") => {
+                    // `const fn` — let the fn arm handle it
+                    i += 1;
+                }
+                "use" | "const" | "static" | "type" | "extern" => {
+                    // skip to the terminating `;`, stepping over groups
+                    let mut j = i + 1;
+                    while j < end {
+                        if self.is_punct(j, ';') {
+                            j += 1;
+                            break;
+                        }
+                        if self.is_punct(j, '{') || self.is_punct(j, '(') || self.is_punct(j, '[') {
+                            j = self.skip_balanced(j);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    i = j;
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parse `struct Name { fields }`, recording hash-typed fields.
+    fn structure(&mut self, i: usize) -> usize {
+        let Some(name) = self.ident_text(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        if self.is_punct(j, '<') {
+            j = self.skip_generics(j);
+        }
+        // where clause before the body
+        while j < self.syms.toks.len()
+            && !self.is_punct(j, '{')
+            && !self.is_punct(j, '(')
+            && !self.is_punct(j, ';')
+        {
+            j += 1;
+        }
+        if self.is_punct(j, '(') {
+            // tuple struct: no named fields
+            let after = self.skip_balanced(j);
+            return if self.is_punct(after, ';') {
+                after + 1
+            } else {
+                after
+            };
+        }
+        if !self.is_punct(j, '{') {
+            return j + 1;
+        }
+        let close = self.skip_balanced(j);
+        let mut k = j + 1;
+        while k < close - 1 {
+            if self.is_punct(k, '#') {
+                let (next, _) = self.attr(k);
+                k = next;
+                continue;
+            }
+            if self.is_ident(k, "pub") {
+                k += 1;
+                if self.is_punct(k, '(') {
+                    k = self.skip_balanced(k);
+                }
+                continue;
+            }
+            let Some(field) = self.ident_text(k).map(str::to_string) else {
+                k += 1;
+                continue;
+            };
+            if !self.is_punct(k + 1, ':') {
+                k += 1;
+                continue;
+            }
+            // type runs to the `,` at this level (or the closing brace)
+            let mut t = k + 2;
+            let mut hash = false;
+            while t < close - 1 {
+                if self.is_punct(t, ',') {
+                    break;
+                }
+                if self.is_punct(t, '<') {
+                    let g = self.skip_generics(t);
+                    hash |= self.syms.toks[t..g]
+                        .iter()
+                        .any(|x| x.is_ident("HashMap") || x.is_ident("HashSet"));
+                    t = g;
+                    continue;
+                }
+                if self.is_punct(t, '(') || self.is_punct(t, '[') || self.is_punct(t, '{') {
+                    t = self.skip_balanced(t);
+                    continue;
+                }
+                hash |= self.is_ident(t, "HashMap") || self.is_ident(t, "HashSet");
+                t += 1;
+            }
+            if hash {
+                self.syms.hash_fields.insert((name.clone(), field));
+            }
+            k = t + 1;
+        }
+        close
+    }
+
+    /// Parse a `fn` item starting at `i` (the `fn` keyword). Returns the
+    /// index past the item.
+    fn function(
+        &mut self,
+        i: usize,
+        is_pub: bool,
+        in_test: bool,
+        self_type: Option<&str>,
+    ) -> usize {
+        let line = self.tok(i).map(|t| t.line).unwrap_or(0);
+        let Some(name) = self.ident_text(i + 1).map(str::to_string) else {
+            // `fn(u32) -> u32` in type position
+            return i + 1;
+        };
+        let mut j = i + 2;
+        if self.is_punct(j, '<') {
+            j = self.skip_generics(j);
+        }
+        if !self.is_punct(j, '(') {
+            return j;
+        }
+        let params_end = self.skip_balanced(j);
+        let hash_params = self.hash_params(j + 1, params_end - 1);
+        // signature tail: return type / where clause, to `{` or `;`
+        let mut k = params_end;
+        while let Some(t) = self.tok(k) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                k = self.skip_generics(k);
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                k = self.skip_balanced(k);
+                continue;
+            }
+            k += 1;
+        }
+        if self.is_punct(k, ';') {
+            // trait method declaration: record the signature, no body
+            if !in_test {
+                self.syms.fns.push(FnDef {
+                    name,
+                    line,
+                    is_pub,
+                    self_type: self_type.map(str::to_string),
+                    body: (k, k),
+                    hash_params,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            return k + 1;
+        }
+        if !self.is_punct(k, '{') {
+            return k;
+        }
+        let close = self.skip_balanced(k);
+        if in_test {
+            return close;
+        }
+        let mut def = FnDef {
+            name,
+            line,
+            is_pub,
+            self_type: self_type.map(str::to_string),
+            body: (k, close - 1),
+            hash_params,
+            calls: Vec::new(),
+            panics: Vec::new(),
+        };
+        self.scan_body(k + 1, close - 1, &mut def);
+        self.syms.fns.push(def);
+        close
+    }
+
+    /// Parameter names in `[i, end)` whose type mentions hash containers.
+    fn hash_params(&self, i: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut j = i;
+        let mut current: Option<String> = None;
+        let mut depth = 0i32;
+        while j < end {
+            let Some(t) = self.tok(j) else { break };
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                j = self.skip_balanced(j);
+                continue;
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !(j > 0 && self.is_punct(j - 1, '-')) {
+                depth -= 1;
+            } else if t.is_punct(',') && depth <= 0 {
+                current = None;
+            } else if t.kind == TokKind::Ident && self.is_punct(j + 1, ':') && depth <= 0 {
+                current = Some(t.text.clone());
+            } else if t.kind == TokKind::Ident
+                && (t.text == "HashMap" || t.text == "HashSet")
+                && current.is_some()
+            {
+                if let Some(name) = current.take() {
+                    out.push(name);
+                }
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// Scan a function body for calls, panic sites, and nested items.
+    fn scan_body(&mut self, i: usize, end: usize, def: &mut FnDef) {
+        let mut j = i;
+        while j < end {
+            let Some(t) = self.tok(j) else { break };
+            // nested fn: its own FnDef, not part of this body's calls
+            if t.is_ident("fn") && self.tok(j + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+                j = self.function(j, false, false, None);
+                continue;
+            }
+            if t.kind == TokKind::Ident && !NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+                // macro invocation `name!(..)` / `name![..]` / `name!{..}`
+                if self.is_punct(j + 1, '!')
+                    && (self.is_punct(j + 2, '(')
+                        || self.is_punct(j + 2, '[')
+                        || self.is_punct(j + 2, '{'))
+                {
+                    let mac = format!("{}!", t.text);
+                    if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented") {
+                        def.panics.push(PanicSite {
+                            what: mac.clone(),
+                            line: t.line,
+                        });
+                    }
+                    def.calls.push(CallSite {
+                        callee: mac,
+                        qualifier: None,
+                        is_method: false,
+                        line: t.line,
+                    });
+                    j += 2;
+                    continue;
+                }
+                // plain or method call `name(..)`
+                if self.is_punct(j + 1, '(') {
+                    let is_method = j > 0 && self.is_punct(j - 1, '.');
+                    if is_method && matches!(t.text.as_str(), "unwrap" | "expect") {
+                        def.panics.push(PanicSite {
+                            what: t.text.clone(),
+                            line: t.line,
+                        });
+                    }
+                    let qualifier =
+                        if j >= 3 && self.is_punct(j - 1, ':') && self.is_punct(j - 2, ':') {
+                            self.ident_text(j - 3).map(str::to_string)
+                        } else {
+                            None
+                        };
+                    def.calls.push(CallSite {
+                        callee: t.text.clone(),
+                        qualifier,
+                        is_method,
+                        line: t.line,
+                    });
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// A function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Which file (index into the [`CallGraph::files`] order).
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub local: usize,
+    /// Bare name (copied out for cheap access).
+    pub name: String,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Unrestricted `pub`.
+    pub is_pub: bool,
+    /// Resolved callee node indices (deduped, stoplist applied).
+    pub callees: Vec<usize>,
+}
+
+/// The workspace call graph over every parsed file.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Parsed files, in the order given to [`CallGraph::build`].
+    pub files: Vec<FileSyms>,
+    /// Flattened function nodes.
+    pub nodes: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from parsed files.
+    pub fn build(files: Vec<FileSyms>) -> CallGraph {
+        let mut g = CallGraph {
+            files,
+            nodes: Vec::new(),
+            by_name: BTreeMap::new(),
+        };
+        for (fi, file) in g.files.iter().enumerate() {
+            for (li, f) in file.fns.iter().enumerate() {
+                let idx = g.nodes.len();
+                g.nodes.push(FnNode {
+                    file: fi,
+                    local: li,
+                    name: f.name.clone(),
+                    rel: file.rel.clone(),
+                    line: f.line,
+                    is_pub: f.is_pub,
+                    callees: Vec::new(),
+                });
+                g.by_name.entry(f.name.clone()).or_default().push(idx);
+            }
+        }
+        for idx in 0..g.nodes.len() {
+            let (fi, li) = (g.nodes[idx].file, g.nodes[idx].local);
+            let mut callees = BTreeSet::new();
+            for call in &g.files[fi].fns[li].calls {
+                for &target in g.resolve(&call.callee) {
+                    if target != idx {
+                        callees.insert(target);
+                    }
+                }
+            }
+            g.nodes[idx].callees = callees.into_iter().collect();
+        }
+        g
+    }
+
+    /// The function definition behind a node.
+    pub fn def(&self, idx: usize) -> &FnDef {
+        &self.files[self.nodes[idx].file].fns[self.nodes[idx].local]
+    }
+
+    /// Workspace functions a call site with this callee name may reach
+    /// (empty for stoplisted or external names; macros never resolve).
+    pub fn resolve(&self, callee: &str) -> &[usize] {
+        if callee.ends_with('!') || EDGE_STOPLIST.contains(&callee) {
+            return &[];
+        }
+        self.by_name.get(callee).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// For every node, whether it can reach a node satisfying `seed` by
+    /// following call edges, and through which callee: `next[i]` is
+    /// `Some(i)` for seeds themselves, `Some(callee)` for the first hop
+    /// of a witness path, `None` when unreachable.
+    pub fn reach(&self, seed: impl Fn(usize) -> bool) -> Vec<Option<usize>> {
+        let mut next: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for (i, slot) in next.iter_mut().enumerate() {
+            if seed(i) {
+                *slot = Some(i);
+                queue.push(i);
+            }
+        }
+        // reverse-BFS: walking callers of reached nodes
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.callees {
+                callers[c].push(i);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            for &caller in &callers[cur] {
+                if next[caller].is_none() {
+                    next[caller] = Some(cur);
+                    queue.push(caller);
+                }
+            }
+        }
+        next
+    }
+
+    /// The witness path from `from` to the seed, as node indices
+    /// (`from` first, the seed last).
+    pub fn chain(&self, from: usize, next: &[Option<usize>]) -> Vec<usize> {
+        let mut out = vec![from];
+        let mut cur = from;
+        while let Some(n) = next[cur] {
+            if n == cur {
+                break;
+            }
+            out.push(n);
+            cur = n;
+        }
+        out
+    }
+
+    /// Render a chain as `a → b → c` using function names.
+    pub fn chain_names(&self, chain: &[usize]) -> String {
+        chain
+            .iter()
+            .map(|&i| self.nodes[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileSyms {
+        parse_file("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn functions_and_visibility_are_recorded() {
+        let syms = parse(
+            "pub fn api() { helper(); }\n\
+             fn helper() {}\n\
+             pub(crate) fn internal() {}\n",
+        );
+        let names: Vec<(&str, bool)> = syms
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("api", true), ("helper", false), ("internal", false)]
+        );
+        assert_eq!(syms.fns[0].calls.len(), 1);
+        assert_eq!(syms.fns[0].calls[0].callee, "helper");
+    }
+
+    #[test]
+    fn test_regions_are_dropped() {
+        let syms = parse(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n  fn dead() { x.unwrap(); }\n}\n\
+             #[test]\nfn also_dead() {}\n\
+             fn live_too() {}\n",
+        );
+        let names: Vec<&str> = syms.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["live", "live_too"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let syms = parse("#[cfg(not(test))]\nfn kept() {}\n");
+        assert_eq!(syms.fns.len(), 1);
+    }
+
+    #[test]
+    fn panic_sites_are_token_exact() {
+        let syms = parse(
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             fn g(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+             fn h() { panic!(\"boom\"); }\n",
+        );
+        assert_eq!(syms.fns[0].panics.len(), 1);
+        assert_eq!(syms.fns[0].panics[0].what, "unwrap");
+        assert!(syms.fns[1].panics.is_empty(), "unwrap_or is not unwrap");
+        assert_eq!(syms.fns[2].panics[0].what, "panic!");
+    }
+
+    #[test]
+    fn impl_methods_know_their_type() {
+        let syms = parse(
+            "struct Index { map: HashMap<u32, u32>, n: u32 }\n\
+             impl Index {\n  fn rebuild(&mut self) { self.touch(); }\n  fn touch(&mut self) {}\n}\n\
+             impl std::fmt::Display for Index {\n  fn fmt(&self) {}\n}\n",
+        );
+        assert!(syms
+            .hash_fields
+            .contains(&("Index".to_string(), "map".to_string())));
+        assert!(!syms.hash_fields.iter().any(|(_, f)| f == "n"));
+        let rebuild = syms.fns.iter().find(|f| f.name == "rebuild").unwrap();
+        assert_eq!(rebuild.self_type.as_deref(), Some("Index"));
+        let fmt = syms.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(fmt.self_type.as_deref(), Some("Index"));
+    }
+
+    #[test]
+    fn hash_typed_params_are_recorded() {
+        let syms = parse("fn f(a: &HashMap<u32, u32>, b: u32, c: HashSet<u8>) {}\n");
+        assert_eq!(syms.fns[0].hash_params, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn reachability_and_chains() {
+        let files = vec![
+            parse_file(
+                "crates/demo/src/lib.rs",
+                "pub fn api() { middle(); }\nfn middle() { deep(); }\n",
+            ),
+            parse_file(
+                "crates/demo/src/deep.rs",
+                "pub fn deep() { other(); }\nfn other() {}\nfn unrelated() {}\n",
+            ),
+        ];
+        let g = CallGraph::build(files);
+        let other = g.nodes.iter().position(|n| n.name == "other").unwrap();
+        let next = g.reach(|i| i == other);
+        let api = g.nodes.iter().position(|n| n.name == "api").unwrap();
+        let chain = g.chain(api, &next);
+        assert_eq!(g.chain_names(&chain), "api -> middle -> deep -> other");
+        let unrelated = g.nodes.iter().position(|n| n.name == "unrelated").unwrap();
+        assert!(next[unrelated].is_none());
+    }
+
+    #[test]
+    fn stoplisted_names_make_no_edges() {
+        let g = CallGraph::build(vec![parse_file(
+            "crates/demo/src/lib.rs",
+            "pub fn insert() {}\nfn f(v: &mut Vec<u32>) { v.insert(0, 1); }\n",
+        )]);
+        let f = g.nodes.iter().position(|n| n.name == "f").unwrap();
+        assert!(g.nodes[f].callees.is_empty());
+    }
+}

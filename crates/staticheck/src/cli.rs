@@ -2,15 +2,21 @@
 //! allowlist application, rendering, exit codes.
 //!
 //! ```text
-//! staticheck [policy|lints|all] [--json] [--root DIR]
+//! staticheck [policy|lints|all] [--format text|json|sarif] [--json]
+//!            [--warnings] [--root DIR] [--only PREFIX]
 //!            [--fixture FILE.json] [--allowlist FILE.toml]
+//!            [--no-allowlist]
 //! ```
 //!
 //! Default mode is `all`. Without a fixture, `policy` verifies every
 //! built-in IXP scheme (members unknown, so SC003 is skipped — the
-//! per-scenario member set is checked by the `repro check` pre-flight).
-//! Exit code is nonzero iff any non-allowlisted error-severity finding
-//! remains.
+//! per-scenario member set is checked by the `repro check` pre-flight)
+//! and cross-checks the eight dictionaries against each other (SC006).
+//! `lints` runs both the token-level linter (SC101–SC106) and the
+//! dataflow pass (SC107/SC108).
+//!
+//! Exit codes: 0 = clean, 1 = non-allowlisted error-grade findings
+//! remain, 2 = internal/IO error (the analysis did not complete).
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -26,7 +32,7 @@ use route_server::rules::ImportRule;
 
 use crate::allow::Allowlist;
 use crate::diag::{Diagnostic, Report};
-use crate::{lints, policy};
+use crate::{dataflow, lints, policy, sarif};
 
 /// A self-contained policy-verification scenario, loadable from JSON.
 /// Used by the seeded-violation fixtures under `tests/fixtures/`.
@@ -47,6 +53,13 @@ pub struct Fixture {
     /// scheme dictionary (keeps fixture expectations exact).
     #[serde(default)]
     pub empty_dict: bool,
+    /// A second IXP whose dictionary (`drift_entries`) is cross-checked
+    /// against this fixture's dictionary (SC006), when set.
+    #[serde(default)]
+    pub drift_ixp: Option<IxpId>,
+    /// The second dictionary's entries for the SC006 cross-check.
+    #[serde(default)]
+    pub drift_entries: Vec<DictionaryEntry>,
 }
 
 impl Fixture {
@@ -64,19 +77,37 @@ impl Fixture {
         let dict = Dictionary::new(self.ixp, entries);
         let members: Option<BTreeSet<Asn>> =
             self.members.as_ref().map(|m| m.iter().copied().collect());
-        policy::verify(&config, &dict, members.as_ref())
+        let mut out = policy::verify(&config, &dict, members.as_ref());
+        if let Some(other) = self.drift_ixp {
+            let dicts = [dict, Dictionary::new(other, self.drift_entries.clone())];
+            out.extend(policy::verify_cross_dictionaries(&dicts));
+        }
+        out
     }
+}
+
+/// Output format selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable, one finding per line.
+    Text,
+    /// The [`Report`] as JSON.
+    Json,
+    /// SARIF 2.1.0 (code-scanning artifact).
+    Sarif,
 }
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
 struct Options {
     mode: Mode,
-    json: bool,
+    format: Format,
     warnings: bool,
     root: PathBuf,
+    only: Option<String>,
     fixture: Option<PathBuf>,
     allowlist: Option<PathBuf>,
+    no_allowlist: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,11 +129,13 @@ fn default_root() -> PathBuf {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         mode: Mode::All,
-        json: false,
+        format: Format::Text,
         warnings: false,
         root: default_root(),
+        only: None,
         fixture: None,
         allowlist: None,
+        no_allowlist: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -110,11 +143,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "policy" => opts.mode = Mode::Policy,
             "lints" => opts.mode = Mode::Lints,
             "all" => opts.mode = Mode::All,
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
+            "--format" => {
+                let v = it.next().ok_or("--format needs text, json, or sarif")?;
+                opts.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format {other:?}\n{USAGE}")),
+                };
+            }
             "--warnings" => opts.warnings = true,
             "--root" => {
                 let v = it.next().ok_or("--root needs a directory")?;
                 opts.root = PathBuf::from(v);
+            }
+            "--only" => {
+                let v = it.next().ok_or("--only needs a path prefix")?;
+                opts.only = Some(v.clone());
             }
             "--fixture" => {
                 let v = it.next().ok_or("--fixture needs a file")?;
@@ -124,6 +170,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--allowlist needs a file")?;
                 opts.allowlist = Some(PathBuf::from(v));
             }
+            "--no-allowlist" => opts.no_allowlist = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -131,29 +178,56 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-const USAGE: &str = "usage: staticheck [policy|lints|all] [--json] \
-[--warnings] [--root DIR] [--fixture FILE.json] [--allowlist FILE.toml]";
+const USAGE: &str = "\
+usage: staticheck [policy|lints|all] [options]
 
-/// Policy findings for every built-in IXP scheme (members unknown).
+modes:
+  policy           verify IXP schemes / a --fixture (SC001-SC006)
+  lints            workspace lints + dataflow (SC101-SC108)
+  all              both (default)
+
+options:
+  --format FMT     output format: text (default), json, or sarif
+                   (SARIF 2.1.0, for CI artifacts and editors)
+  --json           shorthand for --format json
+  --warnings       include warning-grade findings in text output
+  --root DIR       workspace root (default: this checkout)
+  --only PREFIX    restrict lints/dataflow to files under PREFIX
+                   (e.g. --only crates/staticheck/ for the self-lint)
+  --fixture F.json verify a self-contained policy scenario
+  --allowlist F    allowlist file (default: <root>/staticheck.toml)
+  --no-allowlist   ignore the allowlist entirely
+
+exit codes: 0 = clean, 1 = error-grade findings, 2 = internal error";
+
+/// Policy findings for every built-in IXP scheme (members unknown),
+/// plus the SC006 cross-dictionary drift check over all eight.
 pub fn verify_builtin_schemes() -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    let mut dicts = Vec::new();
     for ixp in IxpId::ALL {
         let config = RsConfig::for_ixp(ixp);
         let dict = community_dict::schemes::dictionary(ixp);
         out.extend(policy::verify(&config, &dict, None));
+        dicts.push(dict);
     }
+    out.extend(policy::verify_cross_dictionaries(&dicts));
     out
 }
 
 /// Run staticheck. Returns the process exit code; diagnostics go to
 /// `stdout`, operational errors to `stderr`.
 pub fn run(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return 0;
+    }
     match run_captured(args) {
         Ok((report, output)) => {
-            if output.json {
-                println!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_text_with(output.warnings));
+            match output.format {
+                Format::Json => println!("{}", report.render_json()),
+                Format::Sarif => print!("{}", sarif::render_sarif(&report)),
+                Format::Text => print!("{}", report.render_text_with(output.warnings)),
             }
             report.exit_code()
         }
@@ -167,8 +241,8 @@ pub fn run(args: &[String]) -> i32 {
 /// How [`run`] should print the report.
 #[derive(Debug, Clone, Copy)]
 pub struct OutputOpts {
-    /// Emit JSON instead of text.
-    pub json: bool,
+    /// Selected output format.
+    pub format: Format,
     /// Include warning-severity findings in text output.
     pub warnings: bool,
 }
@@ -176,6 +250,18 @@ pub struct OutputOpts {
 /// The testable core of [`run`]: everything but printing and exiting.
 pub fn run_captured(args: &[String]) -> Result<(Report, OutputOpts), String> {
     let opts = parse_args(args)?;
+
+    // the allowlist loads before the engines: the dataflow pass treats
+    // SC101-waived panic sites as sanctioned (they do not seed SC108)
+    let allowlist = if opts.no_allowlist {
+        Allowlist::default()
+    } else {
+        let path = opts
+            .allowlist
+            .clone()
+            .unwrap_or_else(|| opts.root.join("staticheck.toml"));
+        Allowlist::load(&path).map_err(|e| e.to_string())?
+    };
 
     let mut findings = Vec::new();
     if opts.mode != Mode::Lints {
@@ -191,14 +277,10 @@ pub fn run_captured(args: &[String]) -> Result<(Report, OutputOpts), String> {
         }
     }
     if opts.mode != Mode::Policy {
-        findings.extend(lints::lint_workspace(&opts.root));
+        let only = opts.only.as_deref();
+        findings.extend(lints::lint_workspace(&opts.root, only));
+        findings.extend(dataflow::analyze(&opts.root, &allowlist, only));
     }
-
-    let allowlist_path = opts
-        .allowlist
-        .clone()
-        .unwrap_or_else(|| opts.root.join("staticheck.toml"));
-    let allowlist = Allowlist::load(&allowlist_path).map_err(|e| e.to_string())?;
 
     let mut report = Report::default();
     for d in findings {
@@ -211,7 +293,7 @@ pub fn run_captured(args: &[String]) -> Result<(Report, OutputOpts), String> {
     Ok((
         report,
         OutputOpts {
-            json: opts.json,
+            format: opts.format,
             warnings: opts.warnings,
         },
     ))
@@ -233,16 +315,41 @@ mod tests {
     }
 
     #[test]
+    fn self_lint_is_clean_without_allowlist() {
+        // the analyzer holds itself to its own rules, no waivers
+        let (report, _) = run_captured(&s(&[
+            "lints",
+            "--only",
+            "crates/staticheck/",
+            "--no-allowlist",
+        ]))
+        .expect("run");
+        assert_eq!(report.exit_code(), 0, "{}", report.render_text());
+        assert!(report.allowed.is_empty());
+    }
+
+    #[test]
     fn unknown_argument_is_an_error() {
         assert!(run_captured(&s(&["--bogus"])).is_err());
+        assert!(run_captured(&s(&["--format", "yaml"])).is_err());
     }
 
     #[test]
     fn output_flags_are_parsed() {
         let (_, out) = run_captured(&s(&["policy", "--json"])).expect("run");
-        assert!(out.json && !out.warnings);
+        assert!(out.format == Format::Json && !out.warnings);
         let (_, out) = run_captured(&s(&["policy", "--warnings"])).expect("run");
-        assert!(out.warnings && !out.json);
+        assert!(out.warnings && out.format == Format::Text);
+        let (_, out) = run_captured(&s(&["policy", "--format", "sarif"])).expect("run");
+        assert!(out.format == Format::Sarif);
+    }
+
+    #[test]
+    fn sarif_output_renders_for_the_tree() {
+        let (report, _) = run_captured(&s(&["policy", "--format", "sarif"])).expect("run");
+        let doc = sarif::render_sarif(&report);
+        serde_json::parse_value(&doc).expect("valid JSON");
+        assert!(doc.contains("\"name\": \"staticheck\""));
     }
 
     #[test]
@@ -253,6 +360,8 @@ mod tests {
             rules: Vec::new(),
             extra_entries: Vec::new(),
             empty_dict: true,
+            drift_ixp: None,
+            drift_entries: Vec::new(),
         };
         let text = serde_json::to_string(&f).expect("serialize");
         let back: Fixture = serde_json::from_str(&text).expect("parse");

@@ -1,8 +1,43 @@
 //! Diagnostics: stable codes, severities, locations, and rendering.
+//!
+//! Exit-code contract (enforced by [`crate::cli::run`], consumed by
+//! `repro check` and `scripts/ci.sh`): **0** = clean (no non-allowlisted
+//! error-grade findings), **1** = error-grade findings remain, **2** =
+//! internal/IO error (bad arguments, unreadable fixture, malformed
+//! allowlist) — the analysis itself did not run to completion.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+/// Every stable diagnostic code, in catalog order (SC0xx = policy
+/// verifier, SC1xx = workspace linter + dataflow).
+pub const CODES: [&str; 14] = [
+    "SC001", "SC002", "SC003", "SC004", "SC005", "SC006", "SC101", "SC102", "SC103", "SC104",
+    "SC105", "SC106", "SC107", "SC108",
+];
+
+/// One-line description of a diagnostic code (the SARIF rule catalog).
+pub fn describe(code: &str) -> &'static str {
+    match code {
+        "SC001" => "shadowed import rule: can never match",
+        "SC002" => "contradictory actions on intersecting rule matchers",
+        "SC003" => "action target has no session at the route server",
+        "SC004" => "one community value parses under two semantics",
+        "SC005" => "applied action can never take effect (import→action→export)",
+        "SC006" => "cross-dictionary drift: one pattern, conflicting actions across IXPs",
+        "SC101" => "panicking construct in library code",
+        "SC102" => "raw clock read outside the obs crate",
+        "SC103" => "metric/span name minted outside the obs::names registry",
+        "SC104" => "obs::names registry is inconsistent",
+        "SC105" => "raw thread creation outside the par pool",
+        "SC106" => "trace-context plumbing outside its sanctioned crates",
+        "SC107" => "hash-map iteration order can reach serialized output",
+        "SC108" => "public function can reach a panic (interprocedural)",
+        _ => "unknown diagnostic code",
+    }
+}
 
 /// How bad a finding is. Only non-allowlisted [`Severity::Error`]
 /// findings fail the build; warnings are reported but never gate.
@@ -111,6 +146,14 @@ impl Report {
         if !show_warnings && warnings > 0 {
             out.push_str("(warnings elided; pass --warnings or --json to see them)\n");
         }
+        let counts = self.counts_by_code();
+        if !counts.is_empty() {
+            let parts: Vec<String> = counts
+                .iter()
+                .map(|(code, n)| format!("{code}={n}"))
+                .collect();
+            out.push_str(&format!("per-check: {}\n", parts.join(" ")));
+        }
         out.push_str(&format!(
             "staticheck: {} error(s), {} warning(s), {} allowlisted\n",
             self.error_count(),
@@ -118,6 +161,16 @@ impl Report {
             self.allowed.len()
         ));
         out
+    }
+
+    /// Finding counts per diagnostic code (allowlisted ones excluded),
+    /// sorted by code — the `per-check:` summary line CI parses.
+    pub fn counts_by_code(&self) -> BTreeMap<&str, usize> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &self.findings {
+            *counts.entry(d.code.as_str()).or_default() += 1;
+        }
+        counts
     }
 
     /// JSON rendering (machine-readable CI artifact).

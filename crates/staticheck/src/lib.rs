@@ -1,9 +1,9 @@
 //! Static analysis for the IXP action-community workspace: a policy
-//! verifier and a workspace invariant linter behind one binary, wired
-//! into CI (`scripts/ci.sh`).
+//! verifier, a workspace invariant linter, and an interprocedural
+//! dataflow pass behind one binary, wired into CI (`scripts/ci.sh`).
 //!
 //! ```text
-//! cargo run -p staticheck -- [policy|lints|all]
+//! cargo run -p staticheck -- [policy|lints|all] [--format text|json|sarif]
 //! ```
 //!
 //! # Engine 1: the policy verifier ([`policy`])
@@ -19,6 +19,8 @@
 //! | SC002 | contradictory actions on intersecting matchers |
 //! | SC003 | action target has no session at the RS (statically ineffective) |
 //! | SC004 | two dictionary patterns give one community value two meanings |
+//! | SC005 | applied import-rule action that can never take effect |
+//! | SC006 | cross-dictionary drift: one pattern, conflicting actions |
 //!
 //! # The range-intersection model behind SC001/SC004
 //!
@@ -67,19 +69,35 @@
 //! library code, SC102 no raw clock reads outside `obs`, SC103 every
 //! minted metric/span name comes from the `obs::names` registry, SC104
 //! the registry itself is consistent, SC105 no raw thread creation
-//! outside the `par` pool (and the looking-glass TCP transport).
+//! outside the `par` pool (and the looking-glass TCP transport), SC106
+//! no trace-context plumbing outside its sanctioned crates.
+//!
+//! # Engine 3: the dataflow pass ([`dataflow`])
+//!
+//! Interprocedural analyses over a workspace call graph built by the
+//! zero-dependency [`lexer`] + [`callgraph`] layers: SC107 flags
+//! `HashMap`/`HashSet` iteration order reaching serialized output
+//! without an intervening sort (with the call chain named in the
+//! diagnostic), SC108 reports public functions that can reach a panic
+//! through the call graph. Design notes and accepted blind spots live
+//! in the [`dataflow`] module docs and TESTING.md.
 //!
 //! Sanctioned exceptions live in `staticheck.toml` at the repo root
-//! ([`allow`]); every entry needs a reason. Exit status is nonzero iff
-//! any non-allowlisted error-severity finding remains.
+//! ([`allow`]); every entry needs a reason. Output renders as text,
+//! JSON, or SARIF 2.1.0 ([`sarif`]). Exit status: 0 clean, 1
+//! non-allowlisted error-grade findings, 2 internal error.
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod cli;
+pub mod dataflow;
 pub mod diag;
+pub mod lexer;
 pub mod lints;
 pub mod policy;
+pub mod sarif;
 
 pub use allow::{AllowEntry, Allowlist};
 pub use diag::{Diagnostic, Report, Severity};

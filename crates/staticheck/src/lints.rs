@@ -42,8 +42,11 @@ use std::path::{Path, PathBuf};
 
 use crate::diag::{Diagnostic, Severity};
 
-/// Run every workspace lint rooted at the repository root.
-pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+/// Run every workspace lint rooted at the repository root. `only`
+/// restricts scanning to files whose workspace-relative path starts
+/// with it (the `--only` self-lint filter); the SC104 registry check
+/// still runs against the full root.
+pub fn lint_workspace(root: &Path, only: Option<&str>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let files = workspace_sources(root);
     for file in &files {
@@ -55,6 +58,9 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
+        if only.is_some_and(|p| !rel.starts_with(p)) {
+            continue;
+        }
         lint_file(&rel, &text, &mut out);
     }
     check_names_registry(root, &mut out);
@@ -62,8 +68,8 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
 }
 
 /// All library sources under `crates/*/src/` and the root `src/`,
-/// sorted for deterministic reports.
-fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+/// sorted for deterministic reports (shared with [`crate::dataflow`]).
+pub(crate) fn workspace_sources(root: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
         for entry in crates.flatten() {

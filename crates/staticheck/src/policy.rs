@@ -8,7 +8,16 @@
 //! * **SC003** — statically ineffective action targets (the paper's §5.3
 //!   pre-flight: the target AS has no session at the route server);
 //! * **SC004** — ambiguous dictionary patterns (one community value, two
-//!   semantics).
+//!   semantics);
+//! * **SC005** — import-rule actions that can never take effect: a
+//!   symbolic route is pushed through import→action→export and the
+//!   export outcome compared with and without the applied action
+//!   (abstract interpretation of action *composition*, generalizing
+//!   SC003's per-target check);
+//! * **SC006** — cross-dictionary drift: the same community pattern
+//!   mapped to conflicting action semantics at different IXPs, the
+//!   static analogue of the paper's cross-IXP characterization
+//!   ([`verify_cross_dictionaries`]).
 //!
 //! See the crate-level docs for the range-intersection model behind
 //! SC001/SC004.
@@ -27,6 +36,7 @@ use community_dict::pattern::Pattern;
 use community_dict::semantics::Semantics;
 
 use route_server::config::RsConfig;
+use route_server::policy::RoutePolicy;
 use route_server::rules::{ImportRule, RuleAction, RuleMatch};
 
 use crate::diag::{Diagnostic, Severity};
@@ -46,6 +56,7 @@ pub fn verify(
         check_ineffective_entries(dict, members, &mut out);
     }
     check_ambiguous_patterns(dict, &mut out);
+    check_composed_actions(config, dict, &mut out);
     out
 }
 
@@ -413,6 +424,161 @@ fn check_ambiguous_patterns(dict: &Dictionary, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// --- SC005: actions that can never take effect ---------------------------
+
+/// Export-visible outcome equality of two digested policies under
+/// `config`. Probes [`RoutePolicy::decide`] at every ASN either policy
+/// names plus one fresh sentinel (decisions are constant over unnamed
+/// peers, so the sentinel stands for all of them), and the blackhole
+/// flag only where the IXP honors it.
+fn same_outcome(config: &RsConfig, a: &RoutePolicy, b: &RoutePolicy) -> bool {
+    let mut peers: BTreeSet<Asn> = a.peer_targets().chain(b.peer_targets()).collect();
+    let mut sentinel = 64512u32;
+    while peers.contains(&Asn(sentinel)) {
+        sentinel += 1;
+    }
+    peers.insert(Asn(sentinel));
+    peers.iter().all(|&p| a.decide(p) == b.decide(p))
+        && (!config.blackhole_enabled || a.blackhole == b.blackhole)
+}
+
+/// The minimal-carrier base policy for one witness: a route carrying
+/// exactly the matcher's community, digested against the dictionary.
+fn base_policy(dict: &Dictionary, witness: Option<(u16, u16)>) -> RoutePolicy {
+    let mut p = RoutePolicy::default();
+    if let Some((high, low)) = witness {
+        let c = bgp_model::community::StandardCommunity::from_parts(high, low);
+        if let Some(action) = dict.classify(c).action() {
+            p.apply_action(action);
+        }
+    }
+    p
+}
+
+/// SC005: abstract-interpret each `Apply` rule along import→action→
+/// export. The symbolic route carries exactly what the matcher requires
+/// (its community pattern, sampled at `[lo, mid, hi]`); if composing the
+/// applied action changes the export outcome for no witness, the action
+/// can never take effect.
+fn check_composed_actions(config: &RsConfig, dict: &Dictionary, out: &mut Vec<Diagnostic>) {
+    for (i, rule) in config.import_rules.iter().enumerate() {
+        let RuleAction::Apply(applied) = rule.action else {
+            continue;
+        };
+        // witness communities the matched route must carry
+        let witnesses: Vec<Option<(u16, u16)>> = match rule.matcher.community {
+            Some(p) => {
+                let (high, lo, hi) = pattern_interval(&p);
+                let mid = lo + (hi - lo) / 2;
+                let mut vs: Vec<u16> = vec![lo, mid, hi];
+                vs.dedup();
+                vs.into_iter().map(|v| Some((high, v))).collect()
+            }
+            None => vec![None],
+        };
+        let ineffective = witnesses.iter().all(|&w| {
+            let base = base_policy(dict, w);
+            let mut composed = base.clone();
+            composed.apply_action(applied);
+            same_outcome(config, &base, &composed)
+        });
+        if !ineffective {
+            continue;
+        }
+        let witness_text = match witnesses[0] {
+            Some((h, v)) => format!("witness community {h}:{v}"),
+            None => "witness route with no communities".to_string(),
+        };
+        let message = if applied.kind == ActionKind::Blackhole && !config.blackhole_enabled {
+            format!(
+                "applied action '{applied}' can never take effect: this IXP \
+                 does not honor blackhole requests ({witness_text})"
+            )
+        } else {
+            format!(
+                "applied action '{applied}' can never take effect: the export \
+                 outcome is identical with and without it ({witness_text})"
+            )
+        };
+        out.push(Diagnostic::new(
+            "SC005",
+            Severity::Error,
+            format!("import_rules[{i}] '{}'", rule.name),
+            message,
+        ));
+    }
+}
+
+// --- SC006: cross-dictionary semantic drift -------------------------------
+
+/// SC006: the same community pattern mapped to conflicting action
+/// semantics at different IXPs. For every overlapping action-entry pair
+/// across two dictionaries, witness values from the overlap are resolved
+/// through the production [`Pattern::resolve`]; actions in a different
+/// [`ActionGroup`](community_dict::action::ActionGroup) are error-grade
+/// conflicts, same-group disagreements (e.g. avoid-all vs avoid-peer)
+/// are warning-grade scope drift.
+pub fn verify_cross_dictionaries(dicts: &[Dictionary]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (di, d1) in dicts.iter().enumerate() {
+        for d2 in &dicts[di + 1..] {
+            if d1.ixp() == d2.ixp() {
+                continue;
+            }
+            for e1 in d1.entries() {
+                if !e1.semantics.is_action() {
+                    continue;
+                }
+                for e2 in d2.entries() {
+                    if !e2.semantics.is_action() {
+                        continue;
+                    }
+                    let Some((high, lo, hi)) = overlap(&e1.pattern, &e2.pattern) else {
+                        continue;
+                    };
+                    let mid = lo + (hi - lo) / 2;
+                    let conflict = [lo, mid, hi].into_iter().find_map(|v| {
+                        let a1 = resolved(e1, high, v).action()?;
+                        let a2 = resolved(e2, high, v).action()?;
+                        (a1 != a2).then_some((v, a1, a2))
+                    });
+                    let Some((v, a1, a2)) = conflict else {
+                        continue;
+                    };
+                    let severity = if a1.kind.group() == a2.kind.group() {
+                        Severity::Warning
+                    } else {
+                        Severity::Error
+                    };
+                    let drift = if severity == Severity::Warning {
+                        "scope drift"
+                    } else {
+                        "conflicting actions"
+                    };
+                    out.push(Diagnostic::new(
+                        "SC006",
+                        severity,
+                        format!(
+                            "dict({:?}) {:?} vs dict({:?}) {:?}",
+                            d1.ixp(),
+                            e1.pattern,
+                            d2.ixp(),
+                            e2.pattern
+                        ),
+                        format!(
+                            "{drift}: community {high}:{v} means '{a1}' at {:?} \
+                             but '{a2}' at {:?}",
+                            d1.ixp(),
+                            d2.ixp()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,6 +932,163 @@ mod tests {
         );
         let diags = verify(&config_with(Vec::new()), &dict, None);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sc005_action_already_implied_by_matched_community() {
+        // the matcher requires the avoid-all community; composing an
+        // avoid-HE on top changes nothing: HE is already denied
+        let avoid_all = Pattern::Exact(C(65001, 49999));
+        let dict = Dictionary::new(
+            IxpId::DeCixFra,
+            vec![DictionaryEntry::new(
+                avoid_all,
+                Semantics::Action(Action::new(ActionKind::DoNotAnnounceTo, Target::AllPeers)),
+                "avoid all",
+            )],
+        );
+        let config = config_with(vec![rule(
+            "redundant-avoid",
+            RuleMatch {
+                community: Some(avoid_all),
+                ..RuleMatch::default()
+            },
+            RuleAction::Apply(Action::avoid(Asn(6939))),
+        )]);
+        let diags = verify(&config, &dict, None);
+        assert_eq!(codes(&diags), vec!["SC005"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("witness community 65001:49999"));
+        assert!(diags[0].location.contains("redundant-avoid"));
+    }
+
+    #[test]
+    fn sc005_effective_action_is_silent() {
+        let config = config_with(vec![rule(
+            "avoid-he",
+            RuleMatch::default(),
+            RuleAction::Apply(Action::avoid(Asn(6939))),
+        )]);
+        assert!(verify(&config, &empty_dict(), None).is_empty());
+    }
+
+    #[test]
+    fn sc005_region_target_is_a_noop() {
+        // region-targeted actions never influence export in this model
+        let config = config_with(vec![rule(
+            "regional",
+            RuleMatch::default(),
+            RuleAction::Apply(Action::new(ActionKind::DoNotAnnounceTo, Target::Region(3))),
+        )]);
+        let diags = verify(&config, &empty_dict(), None);
+        assert_eq!(codes(&diags), vec!["SC005"]);
+    }
+
+    #[test]
+    fn sc005_blackhole_where_unsupported_names_the_reason() {
+        // LINX does not honor blackhole requests (§5.3 support matrix)
+        let config = RsConfig::for_ixp(IxpId::Linx).with_import_rules(vec![rule(
+            "bh",
+            RuleMatch::default(),
+            RuleAction::Apply(Action::blackhole()),
+        )]);
+        assert!(!config.blackhole_enabled);
+        let dict = Dictionary::new(IxpId::Linx, Vec::new());
+        let diags = verify(&config, &dict, None);
+        assert_eq!(codes(&diags), vec!["SC005"]);
+        assert!(diags[0].message.contains("blackhole"), "{diags:?}");
+        // where blackhole IS honored the same rule is effective
+        let config = config_with(vec![rule(
+            "bh",
+            RuleMatch::default(),
+            RuleAction::Apply(Action::blackhole()),
+        )]);
+        assert!(config.blackhole_enabled);
+        assert!(verify(&config, &empty_dict(), None).is_empty());
+    }
+
+    #[test]
+    fn sc006_conflicting_kinds_are_error() {
+        let d1 = Dictionary::new(
+            IxpId::DeCixFra,
+            vec![DictionaryEntry::new(
+                Pattern::Exact(C(65100, 10)),
+                Semantics::Action(Action::avoid(Asn(6939))),
+                "avoid HE",
+            )],
+        );
+        let d2 = Dictionary::new(
+            IxpId::AmsIx,
+            vec![DictionaryEntry::new(
+                Pattern::LowRange {
+                    high: 65100,
+                    lo: 0,
+                    hi: 20,
+                },
+                Semantics::Action(Action::blackhole()),
+                "blackhole block",
+            )],
+        );
+        let diags = verify_cross_dictionaries(&[d1, d2]);
+        assert_eq!(codes(&diags), vec!["SC006"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("65100:10"), "{diags:?}");
+    }
+
+    #[test]
+    fn sc006_same_group_is_scope_drift_warning() {
+        let d1 = Dictionary::new(
+            IxpId::DeCixFra,
+            vec![DictionaryEntry::new(
+                Pattern::Exact(C(0, 7)),
+                Semantics::Action(Action::new(ActionKind::DoNotAnnounceTo, Target::AllPeers)),
+                "avoid all",
+            )],
+        );
+        let d2 = Dictionary::new(
+            IxpId::AmsIx,
+            vec![DictionaryEntry::new(
+                Pattern::PeerAsnLow { high: 0 },
+                Semantics::Action(Action::avoid(Asn(0))),
+                "avoid peer",
+            )],
+        );
+        let diags = verify_cross_dictionaries(&[d1, d2]);
+        assert_eq!(codes(&diags), vec!["SC006"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("scope drift"));
+    }
+
+    #[test]
+    fn sc006_agreeing_semantics_are_silent() {
+        // two IXPs documenting the same avoid-peer template do not drift
+        let mk = |ixp| {
+            Dictionary::new(
+                ixp,
+                vec![DictionaryEntry::new(
+                    Pattern::PeerAsnLow { high: 0 },
+                    Semantics::Action(Action::avoid(Asn(0))),
+                    "avoid peer",
+                )],
+            )
+        };
+        let diags = verify_cross_dictionaries(&[mk(IxpId::DeCixFra), mk(IxpId::AmsIx)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn scheme_cross_dictionary_drift_is_warning_grade_only() {
+        // the real 8 schemes share the avoid/only templates at high 0;
+        // their drift must be scope-level, never conflicting kinds
+        let dicts: Vec<Dictionary> = IxpId::ALL
+            .iter()
+            .map(|&ixp| community_dict::schemes::dictionary(ixp))
+            .collect();
+        let errors: Vec<Diagnostic> = verify_cross_dictionaries(&dicts)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
     }
 
     #[test]

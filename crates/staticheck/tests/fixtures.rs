@@ -86,6 +86,86 @@ fn ambiguous_fixture_reports_sc004_and_fails() {
 }
 
 #[test]
+fn composed_fixture_reports_sc005_and_fails() {
+    let report = run_fixture("composed.json");
+    assert_eq!(codes(&report), vec!["SC005", "SC005"]);
+    // the redundant avoid: dictionary semantics already do what the
+    // rule applies, so composition changes nothing
+    let redundant = &report.findings[0];
+    assert!(redundant.location.contains("avoid-he-redundantly"));
+    assert!(
+        redundant.message.contains("witness community 65001:100"),
+        "{redundant:?}"
+    );
+    // the blackhole request at an IXP that does not honor blackholes
+    let blackhole = &report.findings[1];
+    assert!(blackhole.location.contains("blackhole-on-request"));
+    assert!(
+        blackhole.message.contains("does not honor blackhole"),
+        "{blackhole:?}"
+    );
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn drift_fixture_reports_sc006_conflict_and_fails() {
+    let report = run_fixture("drift.json");
+    assert_eq!(codes(&report), vec!["SC006"]);
+    let d = &report.findings[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("conflicting actions"), "{d:?}");
+    // the message names the concrete witness community
+    assert!(d.message.contains("65010:200"), "{d:?}");
+    assert!(d.location.contains("DeCixFra") && d.location.contains("Linx"));
+    assert_ne!(report.exit_code(), 0);
+}
+
+/// Run `staticheck lints --root tests/fixtures/<tree>` hermetically.
+fn run_tree(tree: &str) -> Report {
+    let args: Vec<String> = [
+        "lints",
+        "--root",
+        fixture_path(tree).to_str().expect("utf-8 path"),
+        "--allowlist",
+        "/nonexistent/staticheck.toml",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (report, _) = run_captured(&args).expect("tree runs");
+    report
+}
+
+#[test]
+fn sc107_tree_reports_hash_order_flow_with_chain() {
+    let report = run_tree("sc107_tree");
+    assert_eq!(codes(&report), vec!["SC107"]);
+    let d = &report.findings[0];
+    assert_eq!(d.severity, Severity::Error);
+    // the diagnostic names the call chain the ordered data travels
+    assert!(d.message.contains("emit_rows"), "{d:?}");
+    assert!(d.location.contains("crates/demo/src/lib.rs"), "{d:?}");
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
+fn sc108_tree_reports_panic_reachability_chain() {
+    let report = run_tree("sc108_tree");
+    let mut found = codes(&report);
+    found.sort_unstable();
+    // SC101 flags the raw unwrap; SC108 adds the interprocedural chain
+    assert_eq!(found, vec!["SC101", "SC108"]);
+    let d = report
+        .findings
+        .iter()
+        .find(|d| d.code == "SC108")
+        .expect("SC108 finding");
+    assert!(d.message.contains("api` -> `middle` -> `deep"), "{d:?}");
+    assert!(d.message.contains("unwrap"), "{d:?}");
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
 fn lints_engine_reports_seeded_violations() {
     // build a tiny fake workspace root with one violation per lint
     let root = std::env::temp_dir().join(format!("staticheck-lint-{}", std::process::id()));

@@ -1,0 +1,17 @@
+//! Seeded SC107: hash-map iteration order escapes into a `Vec` and then
+//! reaches a serializing sink (`format!`) through a call chain — the
+//! dataflow pass must report it interprocedurally.
+
+use std::collections::HashMap;
+
+fn render_row(k: u32) -> String {
+    format!("row {k}")
+}
+
+fn emit_rows(ks: Vec<u32>) -> String {
+    ks.iter().map(|k| render_row(*k)).collect::<String>()
+}
+
+pub fn table(m: &HashMap<u32, u32>) -> String {
+    emit_rows(m.keys().copied().collect::<Vec<u32>>())
+}

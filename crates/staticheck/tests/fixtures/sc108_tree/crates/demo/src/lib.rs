@@ -1,0 +1,15 @@
+//! Seeded SC108: the public entry point `api` reaches a panic two calls
+//! deep. SC101 flags the panicking construct itself; SC108 must report
+//! the full call chain from the public surface.
+
+fn deep(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn middle(x: Option<u8>) -> u8 {
+    deep(x)
+}
+
+pub fn api(x: Option<u8>) -> u8 {
+    middle(x)
+}
