@@ -1,7 +1,6 @@
 //! Shared iteration and counting primitives used by every analysis.
 
-use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use bgp_model::asn::Asn;
 use bgp_model::community::StandardCommunity;
@@ -19,35 +18,46 @@ pub struct View<'a> {
     /// The IXP's community dictionary.
     pub dict: &'a Dictionary,
     members: BTreeSet<Asn>,
-    /// Classification memo: community value → classification. Distinct
-    /// values repeat across millions of instances (the corpus has ~3k of
-    /// them), so each pays the dictionary lookup once per view. Interior
-    /// mutability keeps the analysis API `&self`; a `View` lives inside
-    /// one `par` task, so the `RefCell` never crosses threads.
-    memo: RefCell<HashMap<u32, Classification>>,
+    /// Classification table: distinct community value → classification,
+    /// sorted for binary search. Distinct values repeat across millions
+    /// of instances (the corpus has ~3k of them), so each pays the
+    /// dictionary lookup exactly once — precomputed in [`View::new`]
+    /// over the snapshot's value set. Immutable after construction, so
+    /// a `View` is freely shared across `par` tasks (and staticheck's
+    /// SC109 passes waiver-free).
+    table: Vec<(u32, Classification)>,
 }
 
 impl<'a> View<'a> {
-    /// Pair a snapshot with its dictionary.
+    /// Pair a snapshot with its dictionary, classifying each distinct
+    /// community value in the snapshot exactly once up front.
     pub fn new(snap: &'a Snapshot, dict: &'a Dictionary) -> Self {
         debug_assert_eq!(snap.ixp, dict.ixp());
+        let distinct: BTreeSet<u32> = snap
+            .routes
+            .iter()
+            .flat_map(|(_, r)| r.standard_communities.iter().map(|c| c.0))
+            .collect();
+        let table = distinct
+            .into_iter()
+            .map(|v| (v, dict.classify(StandardCommunity(v))))
+            .collect();
         View {
             snap,
             dict,
             members: snap.members.iter().copied().collect(),
-            memo: RefCell::new(HashMap::new()),
+            table,
         }
     }
 
-    /// Classify a standard community against the dictionary, memoized
-    /// per distinct community value.
+    /// Classify a standard community against the dictionary via the
+    /// precomputed table; values outside the snapshot fall back to a
+    /// direct dictionary lookup.
     pub fn classify(&self, c: StandardCommunity) -> Classification {
-        if let Some(cl) = self.memo.borrow().get(&c.0) {
-            return *cl;
+        match self.table.binary_search_by_key(&c.0, |&(v, _)| v) {
+            Ok(i) => self.table[i].1,
+            Err(_) => self.dict.classify(c),
         }
-        let cl = self.dict.classify(c);
-        self.memo.borrow_mut().insert(c.0, cl);
-        cl
     }
 
     /// Is `asn` connected to the RS (the §5.5 membership test)?

@@ -381,7 +381,9 @@ fn run_perf(args: &[String]) -> i32 {
 
 /// Pre-flight: statically verify every configured IXP's route-server
 /// config + dictionary with `staticheck` before building any world,
-/// then cross-check the dictionaries against each other (SC006). The
+/// then cross-check the dictionaries against each other (SC006), then
+/// scan the workspace sources (lints + dataflow, `--cache` by default
+/// so repeats are warm). The
 /// repo allowlist (`staticheck.toml`) is honored, mirroring the CLI
 /// gate. `Ok(false)` means error-grade findings remain (staticheck
 /// exit 1); `Err` means the verification itself failed (staticheck
@@ -435,6 +437,38 @@ fn run_check(ixps: &[IxpId]) -> Result<bool, String> {
             "FAIL"
         }
         .to_string(),
+    ]);
+
+    // Workspace scan (token lints + concurrency/determinism dataflow,
+    // SC101-SC112) through the incremental cache: a warm repeat costs
+    // milliseconds, so the pre-flight always includes it by default.
+    let root = allow_path.parent().unwrap_or(std::path::Path::new("."));
+    let cache_path = root.join("target/staticheck.cache");
+    let args: Vec<String> = [
+        "lints",
+        "--root",
+        root.to_str().unwrap_or("."),
+        "--cache",
+        cache_path.to_str().unwrap_or("target/staticheck.cache"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (ws, _) = staticheck::cli::run_captured(&args).map_err(|e| e.to_string())?;
+    let ws_errors: Vec<_> = ws
+        .findings
+        .iter()
+        .filter(|d| d.severity == staticheck::Severity::Error)
+        .collect();
+    for d in &ws_errors {
+        eprintln!("check: workspace {d}");
+    }
+    clean &= ws_errors.is_empty();
+    t.row([
+        "workspace".to_string(),
+        ws_errors.len().to_string(),
+        (ws.findings.len() - ws_errors.len()).to_string(),
+        if ws_errors.is_empty() { "ok" } else { "FAIL" }.to_string(),
     ]);
     println!("{}", t.render());
     Ok(clean)

@@ -338,6 +338,42 @@ mod tests {
     }
 
     #[test]
+    fn pool_metrics_totals_are_exact() {
+        // The block-steal cursor claims indices with a Relaxed
+        // `fetch_add`; atomicity alone guarantees each index is claimed
+        // exactly once, so the merged totals must be exact — not merely
+        // approximate — no matter how claims interleave. Uneven task
+        // durations push workers into each other's blocks to exercise
+        // the stealing path. (This is the output-invariance argument
+        // backing the SC111 waiver for crates/par in staticheck.toml.)
+        let items: Vec<u64> = (0..193).collect();
+        for round in 0..16 {
+            let tasks_before = obs::global().counter(obs::names::PAR_TASKS).get();
+            let steals_before = obs::global().counter(obs::names::PAR_STEALS).get();
+            with_threads(4, || {
+                map_indexed(&items, |i, &x| {
+                    // spin longer on a sliding band of indices so block
+                    // ownership and completion order diverge each round
+                    let spin = if i % 4 == round % 4 { 2000 } else { 10 };
+                    let mut h = x;
+                    for _ in 0..spin {
+                        h = h.wrapping_mul(0x100_0000_01b3).rotate_left(7);
+                    }
+                    h
+                })
+            });
+            let tasks = obs::global().counter(obs::names::PAR_TASKS).get() - tasks_before;
+            let steals = obs::global().counter(obs::names::PAR_STEALS).get() - steals_before;
+            assert_eq!(tasks, 193, "round {round}: every index exactly once");
+            assert!(
+                steals <= tasks,
+                "round {round}: steals {steals} > tasks {tasks}"
+            );
+            assert_eq!(obs::global().gauge(obs::names::PAR_QUEUE_DEPTH).get(), 0);
+        }
+    }
+
+    #[test]
     fn task_spans_parent_to_submitting_span() {
         // A span opened inside a worker task must parent to the span
         // active on the submitting thread, at slot base index << 32.

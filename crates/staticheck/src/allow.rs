@@ -159,6 +159,20 @@ fn push_entry(
             message: format!("[[allow]] entry for {} is missing `reason`", e.code),
         });
     }
+    // SC109 sanctions shared mutable state inside a parallel task; the
+    // only acceptable justification is an argument that the final output
+    // is deterministic anyway. Enforce at parse time so an undocumented
+    // waiver cannot silently neuter the check.
+    if e.code == "SC109" && !e.reason.to_ascii_lowercase().contains("determinis") {
+        return Err(AllowError {
+            line: lineno,
+            message: format!(
+                "[[allow]] entry for SC109 must make a determinism argument \
+                 (reason {:?} never mentions determinism)",
+                e.reason
+            ),
+        });
+    }
     entries.push(e);
     Ok(())
 }

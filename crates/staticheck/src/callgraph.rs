@@ -4,18 +4,44 @@
 //! recognizing `fn` items (through `mod`/`impl`/`trait` nesting, with
 //! `#[cfg(test)]` and `#[test]` regions dropped), recording per function
 //! its visibility, parameter types, call sites, and panic sites, plus
-//! per struct which fields hold `HashMap`/`HashSet`. The per-file
-//! symbol tables are then stitched into a [`CallGraph`] whose edges
-//! resolve call sites to workspace functions **by name** — a deliberate
-//! over-approximation (no type-directed method resolution without
-//! `syn`), kept useful by a stoplist of ubiquitous std method names
-//! that would otherwise wire everything to everything.
+//! per struct which fields hold `HashMap`/`HashSet` or an
+//! interior-mutability type (`RefCell`, `Mutex`, `Atomic*`, ...). The
+//! per-file symbol tables are then stitched into a [`CallGraph`] whose
+//! edges resolve call sites to workspace functions **by name** — a
+//! deliberate over-approximation (no type-directed method resolution
+//! without `syn`), kept useful by a stoplist of ubiquitous std method
+//! names that would otherwise wire everything to everything.
 //!
-//! Two reachability queries drive the dataflow lints:
+//! # Closures are anonymous functions
+//!
+//! A closure literal (`|args| body`, `move || body`) is parsed into its
+//! own [`FnDef`] named `{closure@<line>}`, with:
+//! * a **capture list** — free identifiers in the closure body resolved
+//!   against the enclosing function's parameters and `let`-bound locals
+//!   (`self` included);
+//! * a **`passed_to` edge** — the callee the closure literal is an
+//!   argument of (`map_indexed`, `thread::scope(..)`, `spawn`, ...),
+//!   found by walking back over unbalanced parens from the literal;
+//! * a synthetic call edge *enclosing function → closure*, so every
+//!   reachability query walks through closure bodies.
+//!
+//! The concurrency pass ([`crate::concurrency`]) keys off `passed_to`
+//! to identify *par-task closures*: task bodies handed to the `par`
+//! pool, a `thread::scope`, or a spawned handler thread.
+//!
+//! Accepted blind spots (documented in TESTING.md): captures that only
+//! occur as method-call *receivers of path segments* (`a.b.c()` only
+//! captures `a`), captures of function items passed as values, and
+//! trait-object indirection (calls through `dyn Trait` resolve by bare
+//! method name like every other method call).
+//!
+//! Reachability queries drive the dataflow lints:
 //! * *sink-reaching* — can this function reach serialized output,
-//!   digests, or metrics (SC107's interprocedural half);
+//!   digests, or metrics (SC107's interprocedural half, SC111's sinks);
 //! * *panic-reaching* — can a public entry point reach a panic site
-//!   (SC108), with the witness call chain.
+//!   (SC108), with the witness call chain;
+//! * *IM-/blocking-reaching* — can a par-task closure reach interior
+//!   mutability (SC109) or a blocking call (SC112).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -44,12 +70,13 @@ pub struct PanicSite {
     pub line: u32,
 }
 
-/// One parsed function (or method).
+/// One parsed function, method, or closure literal.
 #[derive(Debug, Clone)]
 pub struct FnDef {
-    /// Bare name (no path; resolution is by name).
+    /// Bare name (no path; resolution is by name). Closures are named
+    /// `{closure@<line>}` and never participate in name resolution.
     pub name: String,
-    /// 1-based line of the `fn` keyword.
+    /// 1-based line of the `fn` keyword (or the closure's first `|`).
     pub line: u32,
     /// Unrestricted `pub` (not `pub(crate)` etc.).
     pub is_pub: bool,
@@ -57,14 +84,34 @@ pub struct FnDef {
     /// `impl Trait for TypeName`).
     pub self_type: Option<String>,
     /// Token range of the body in the file stream: `(open, close)`
-    /// indices of the braces; `open == close` means no body.
+    /// indices of the braces; `open == close` means no body. The scan
+    /// range is `body.0 + 1 .. body.1`; expression-bodied closures use
+    /// synthetic indices keeping that convention.
     pub body: (usize, usize),
+    /// All parameter names, `self` included when present.
+    pub params: Vec<String>,
     /// Parameter names whose declared type mentions `HashMap`/`HashSet`.
     pub hash_params: Vec<String>,
-    /// Everything this body calls.
+    /// `let`-bound local names (simple bindings only; destructuring
+    /// patterns and `match` arms are accepted blind spots).
+    pub locals: Vec<String>,
+    /// Everything this body calls (nested closure regions excluded —
+    /// those calls belong to the closure's own def).
     pub calls: Vec<CallSite>,
     /// Panicking constructs in this body (SC101's needles, token-exact).
     pub panics: Vec<PanicSite>,
+    /// True for closure literals parsed as anonymous functions.
+    pub is_closure: bool,
+    /// For closures: the callee this literal is an argument of
+    /// (`map_indexed`, `scope`, `spawn`, ...), found by walking back
+    /// over unbalanced parens to the enclosing call.
+    pub passed_to: Option<String>,
+    /// For closures: free identifiers in the body resolved against the
+    /// enclosing scope (params + locals visible at the closure site).
+    pub captures: Vec<String>,
+    /// For closures: local index (into the file's `fns`) of the
+    /// enclosing named function. Nested closures attach flat to it.
+    pub encl: Option<usize>,
 }
 
 /// The symbol table of one source file.
@@ -78,6 +125,22 @@ pub struct FileSyms {
     pub fns: Vec<FnDef>,
     /// `(struct, field)` pairs whose type mentions `HashMap`/`HashSet`.
     pub hash_fields: BTreeSet<(String, String)>,
+    /// `(struct, field, type)` triples whose field type is an
+    /// interior-mutability container (`RefCell`, `Mutex`, `Atomic*`, ...).
+    pub im_fields: BTreeSet<(String, String, String)>,
+    /// `(name, type)` for module-level interior-mutability statics:
+    /// `static mut` items (type `"static mut"`), IM-typed statics, and
+    /// `thread_local!` inner statics (type `"thread_local"`).
+    pub im_statics: BTreeSet<(String, String)>,
+}
+
+/// Interior-mutability type names — SC109's seeds. `static mut` and
+/// `thread_local!` are recognized structurally, not by type name.
+pub fn im_type(id: &str) -> bool {
+    matches!(
+        id,
+        "RefCell" | "Cell" | "UnsafeCell" | "Mutex" | "RwLock" | "Condvar"
+    ) || id.starts_with("Atomic")
 }
 
 /// Keywords that look like `ident (` but are not calls.
@@ -155,8 +218,7 @@ pub fn parse_file(rel: &str, src: &str) -> FileSyms {
     let mut syms = FileSyms {
         rel: rel.to_string(),
         toks,
-        fns: Vec::new(),
-        hash_fields: BTreeSet::new(),
+        ..FileSyms::default()
     };
     let end = syms.toks.len();
     let mut p = Parser { syms: &mut syms };
@@ -390,7 +452,74 @@ impl Parser<'_> {
                     // `const fn` — let the fn arm handle it
                     i += 1;
                 }
-                "use" | "const" | "static" | "type" | "extern" => {
+                "static" => {
+                    // `static [mut] NAME: Type = ...;` — record IM statics
+                    let mut j = i + 1;
+                    let is_mut = self.is_ident(j, "mut");
+                    if is_mut {
+                        j += 1;
+                    }
+                    let name = self.ident_text(j).map(str::to_string);
+                    let mut ty: Option<String> = None;
+                    while j < end {
+                        if self.is_punct(j, ';') {
+                            j += 1;
+                            break;
+                        }
+                        if self.is_punct(j, '{') || self.is_punct(j, '(') || self.is_punct(j, '[') {
+                            j = self.skip_balanced(j);
+                            continue;
+                        }
+                        if ty.is_none() {
+                            if let Some(id) = self.ident_text(j) {
+                                if im_type(id) {
+                                    ty = Some(id.to_string());
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    if let Some(name) = name {
+                        if is_mut {
+                            self.syms
+                                .im_statics
+                                .insert((name, "static mut".to_string()));
+                        } else if let Some(ty) = ty {
+                            self.syms.im_statics.insert((name, ty));
+                        }
+                    }
+                    i = j;
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "thread_local" if self.is_punct(i + 1, '!') => {
+                    // thread_local! { static NAME: Ty = ...; }
+                    let mut j = i + 2;
+                    if self.is_punct(j, '{') || self.is_punct(j, '(') || self.is_punct(j, '[') {
+                        let close = self.skip_balanced(j);
+                        let mut k = j + 1;
+                        while k + 1 < close {
+                            if self.is_ident(k, "static") {
+                                let n = if self.is_ident(k + 1, "mut") {
+                                    k + 2
+                                } else {
+                                    k + 1
+                                };
+                                if let Some(name) = self.ident_text(n) {
+                                    self.syms
+                                        .im_statics
+                                        .insert((name.to_string(), "thread_local".to_string()));
+                                }
+                            }
+                            k += 1;
+                        }
+                        j = close;
+                    }
+                    i = j;
+                    pending_pub = false;
+                    pending_test = false;
+                }
+                "use" | "const" | "type" | "extern" => {
                     // skip to the terminating `;`, stepping over groups
                     let mut j = i + 1;
                     while j < end {
@@ -468,15 +597,19 @@ impl Parser<'_> {
             // type runs to the `,` at this level (or the closing brace)
             let mut t = k + 2;
             let mut hash = false;
+            let mut im: Option<String> = None;
             while t < close - 1 {
                 if self.is_punct(t, ',') {
                     break;
                 }
                 if self.is_punct(t, '<') {
                     let g = self.skip_generics(t);
-                    hash |= self.syms.toks[t..g]
-                        .iter()
-                        .any(|x| x.is_ident("HashMap") || x.is_ident("HashSet"));
+                    for x in &self.syms.toks[t..g] {
+                        hash |= x.is_ident("HashMap") || x.is_ident("HashSet");
+                        if im.is_none() && x.kind == TokKind::Ident && im_type(&x.text) {
+                            im = Some(x.text.clone());
+                        }
+                    }
                     t = g;
                     continue;
                 }
@@ -485,10 +618,20 @@ impl Parser<'_> {
                     continue;
                 }
                 hash |= self.is_ident(t, "HashMap") || self.is_ident(t, "HashSet");
+                if im.is_none() {
+                    if let Some(id) = self.ident_text(t) {
+                        if im_type(id) {
+                            im = Some(id.to_string());
+                        }
+                    }
+                }
                 t += 1;
             }
             if hash {
-                self.syms.hash_fields.insert((name.clone(), field));
+                self.syms.hash_fields.insert((name.clone(), field.clone()));
+            }
+            if let Some(ty) = im {
+                self.syms.im_fields.insert((name.clone(), field, ty));
             }
             k = t + 1;
         }
@@ -517,7 +660,7 @@ impl Parser<'_> {
             return j;
         }
         let params_end = self.skip_balanced(j);
-        let hash_params = self.hash_params(j + 1, params_end - 1);
+        let (params, hash_params) = self.params(j + 1, params_end - 1);
         // signature tail: return type / where clause, to `{` or `;`
         let mut k = params_end;
         while let Some(t) = self.tok(k) {
@@ -543,9 +686,15 @@ impl Parser<'_> {
                     is_pub,
                     self_type: self_type.map(str::to_string),
                     body: (k, k),
+                    params,
                     hash_params,
+                    locals: Vec::new(),
                     calls: Vec::new(),
                     panics: Vec::new(),
+                    is_closure: false,
+                    passed_to: None,
+                    captures: Vec::new(),
+                    encl: None,
                 });
             }
             return k + 1;
@@ -563,18 +712,32 @@ impl Parser<'_> {
             is_pub,
             self_type: self_type.map(str::to_string),
             body: (k, close - 1),
+            params,
             hash_params,
+            locals: Vec::new(),
             calls: Vec::new(),
             panics: Vec::new(),
+            is_closure: false,
+            passed_to: None,
+            captures: Vec::new(),
+            encl: None,
         };
-        self.scan_body(k + 1, close - 1, &mut def);
+        let mut closures = Vec::new();
+        self.scan_body(k + 1, close - 1, &mut def, &mut closures, &[]);
+        let encl = self.syms.fns.len();
         self.syms.fns.push(def);
+        for mut c in closures {
+            c.encl = Some(encl);
+            self.syms.fns.push(c);
+        }
         close
     }
 
-    /// Parameter names in `[i, end)` whose type mentions hash containers.
-    fn hash_params(&self, i: usize, end: usize) -> Vec<String> {
-        let mut out = Vec::new();
+    /// Parameter names in `[i, end)`: all of them (`self` included),
+    /// plus the subset whose declared type mentions hash containers.
+    fn params(&self, i: usize, end: usize) -> (Vec<String>, Vec<String>) {
+        let mut all = Vec::new();
+        let mut hash = Vec::new();
         let mut j = i;
         let mut current: Option<String> = None;
         let mut depth = 0i32;
@@ -590,29 +753,264 @@ impl Parser<'_> {
                 depth -= 1;
             } else if t.is_punct(',') && depth <= 0 {
                 current = None;
+            } else if t.kind == TokKind::Ident && depth <= 0 && t.text == "self" {
+                all.push(t.text.clone());
             } else if t.kind == TokKind::Ident && self.is_punct(j + 1, ':') && depth <= 0 {
+                all.push(t.text.clone());
                 current = Some(t.text.clone());
             } else if t.kind == TokKind::Ident
                 && (t.text == "HashMap" || t.text == "HashSet")
                 && current.is_some()
             {
                 if let Some(name) = current.take() {
-                    out.push(name);
+                    hash.push(name);
                 }
             }
             j += 1;
         }
-        out
+        (all, hash)
     }
 
-    /// Scan a function body for calls, panic sites, and nested items.
-    fn scan_body(&mut self, i: usize, end: usize, def: &mut FnDef) {
+    /// Could the `|` at `j` open a closure literal? True when the
+    /// previous token cannot end an expression (so `|` is not binary
+    /// or-/union syntax): an opening/separator punct or a keyword like
+    /// `move`. `a || b` and `x | y` never trigger — their first `|`
+    /// follows an expression.
+    fn closure_trigger(&self, j: usize, start: usize) -> bool {
+        if j == start {
+            return true;
+        }
+        let Some(p) = self.tok(j - 1) else {
+            return false;
+        };
+        match p.kind {
+            TokKind::Punct => matches!(
+                p.text.chars().next(),
+                Some('(' | ',' | '=' | '{' | ';' | '[' | ':')
+            ),
+            TokKind::Ident => matches!(p.text.as_str(), "move" | "return" | "else" | "in"),
+            _ => false,
+        }
+    }
+
+    /// The callee a closure starting at `j` is an argument of, if any:
+    /// walk back over balanced groups to the first unbalanced `(` — the
+    /// enclosing call's argument list — and name the ident before it.
+    fn passed_to(&self, j: usize) -> Option<String> {
+        let mut depth = 0i32;
+        let mut k = j;
+        while k > 0 {
+            k -= 1;
+            let t = self.tok(k)?;
+            if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth += 1;
+            } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                if depth > 0 {
+                    depth -= 1;
+                    continue;
+                }
+                if t.is_punct('(') && k > 0 {
+                    if let Some(name) = self.ident_text(k - 1) {
+                        if !NON_CALL_KEYWORDS.contains(&name) {
+                            return Some(name.to_string());
+                        }
+                    }
+                }
+                return None;
+            } else if depth == 0 && t.is_punct(';') {
+                // a `(` cannot stay open across a statement boundary
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Parse a closure literal whose first `|` is at `j`: its own
+    /// [`FnDef`] named `{closure@<line>}` pushed into `closures`
+    /// (nested ones too, flat), captures resolved against `scope`.
+    /// Returns the index past the closure.
+    fn closure(
+        &mut self,
+        j: usize,
+        end: usize,
+        closures: &mut Vec<FnDef>,
+        scope: &[String],
+    ) -> usize {
+        let line = self.tok(j).map(|t| t.line).unwrap_or(0);
+        let mut params = Vec::new();
+        let mut k = j + 1;
+        if self.is_punct(k, '|') {
+            k += 1; // `||`: empty parameter list
+        } else {
+            let mut after_colon = false;
+            while k < end && !self.is_punct(k, '|') {
+                if self.is_punct(k, '(') || self.is_punct(k, '[') || self.is_punct(k, '{') {
+                    k = self.skip_balanced(k);
+                    continue;
+                }
+                if self.is_punct(k, '<') {
+                    k = self.skip_generics(k);
+                    continue;
+                }
+                if self.is_punct(k, ':') {
+                    after_colon = true;
+                } else if self.is_punct(k, ',') {
+                    after_colon = false;
+                } else if !after_colon {
+                    if let Some(id) = self.ident_text(k) {
+                        if id != "mut" && id != "ref" && id != "_" {
+                            params.push(id.to_string());
+                        }
+                    }
+                }
+                k += 1;
+            }
+            k += 1; // past the closing `|`
+        }
+        // optional `-> Type` before a braced body
+        if self.is_punct(k, '-') && self.is_punct(k + 1, '>') {
+            k += 2;
+            while k < end && !self.is_punct(k, '{') {
+                if self.is_punct(k, '<') {
+                    k = self.skip_generics(k);
+                } else if self.is_punct(k, '(') || self.is_punct(k, '[') {
+                    k = self.skip_balanced(k);
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        let (body, past) = if self.is_punct(k, '{') {
+            let close = self.skip_balanced(k);
+            ((k, close - 1), close)
+        } else {
+            // expression body: runs to `,`/`;` at depth 0 or to the
+            // closer of the group the closure sits in
+            let mut depth = 0i32;
+            let mut e = k;
+            while e < end {
+                let Some(t) = self.tok(e) else { break };
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && (t.is_punct(',') || t.is_punct(';')) {
+                    break;
+                }
+                e += 1;
+            }
+            // synthetic (open, close): scan range body.0+1..body.1
+            ((k - 1, e), e)
+        };
+        let back = if j > 0 && self.is_ident(j - 1, "move") {
+            j - 1
+        } else {
+            j
+        };
+        let mut c = FnDef {
+            name: format!("{{closure@{line}}}"),
+            line,
+            is_pub: false,
+            self_type: None,
+            body,
+            params: params.clone(),
+            hash_params: Vec::new(),
+            locals: Vec::new(),
+            calls: Vec::new(),
+            panics: Vec::new(),
+            is_closure: true,
+            passed_to: self.passed_to(back),
+            captures: Vec::new(),
+            encl: None,
+        };
+        // the closure's body scan sees the enclosing scope plus its own
+        // params; nested closures land flat in the same out-vec
+        let mut inner_scope: Vec<String> = scope.to_vec();
+        inner_scope.extend(params);
+        self.scan_body(body.0 + 1, body.1, &mut c, closures, &inner_scope);
+        c.captures = self.free_idents(body.0 + 1, body.1, &c, scope);
+        closures.push(c);
+        past
+    }
+
+    /// Free identifiers in `[i, end)` — not path-qualified, not called,
+    /// not bound by `def` — that resolve in the enclosing `scope`.
+    fn free_idents(&self, i: usize, end: usize, def: &FnDef, scope: &[String]) -> Vec<String> {
+        let bound: BTreeSet<&str> = def
+            .params
+            .iter()
+            .chain(def.locals.iter())
+            .map(String::as_str)
+            .collect();
+        let scope_set: BTreeSet<&str> = scope.iter().map(String::as_str).collect();
+        let mut out = BTreeSet::new();
+        for j in i..end.min(self.syms.toks.len()) {
+            let Some(t) = self.tok(j) else { break };
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let id = t.text.as_str();
+            let after_path = (j >= 1 && self.is_punct(j - 1, '.'))
+                || (j >= 2 && self.is_punct(j - 1, ':') && self.is_punct(j - 2, ':'));
+            let is_called = self.is_punct(j + 1, '(') || self.is_punct(j + 1, '!');
+            if !after_path && !is_called && !bound.contains(id) && scope_set.contains(id) {
+                out.insert(id.to_string());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Scan a function body for calls, panic sites, `let`-bound locals,
+    /// nested items, and closure literals. Closure regions are skipped
+    /// here — their calls/panics belong to the closure's own [`FnDef`]
+    /// (pushed into `closures`), kept reachable through the synthetic
+    /// enclosing→closure edge [`CallGraph::build`] adds.
+    fn scan_body(
+        &mut self,
+        i: usize,
+        end: usize,
+        def: &mut FnDef,
+        closures: &mut Vec<FnDef>,
+        outer_scope: &[String],
+    ) {
         let mut j = i;
         while j < end {
             let Some(t) = self.tok(j) else { break };
             // nested fn: its own FnDef, not part of this body's calls
             if t.is_ident("fn") && self.tok(j + 1).is_some_and(|n| n.kind == TokKind::Ident) {
                 j = self.function(j, false, false, None);
+                continue;
+            }
+            // `let [mut] name =` / `for name in`: a local binding
+            if t.is_ident("let") {
+                let mut k = j + 1;
+                if self.is_ident(k, "mut") {
+                    k += 1;
+                }
+                if let Some(name) = self.ident_text(k) {
+                    // plain binding, not `let Some(x)` destructuring
+                    if self.is_punct(k + 1, '=') || self.is_punct(k + 1, ':') {
+                        def.locals.push(name.to_string());
+                    }
+                }
+                j += 1;
+                continue;
+            }
+            if t.is_ident("for") {
+                if let Some(name) = self.ident_text(j + 1) {
+                    if self.is_ident(j + 2, "in") {
+                        def.locals.push(name.to_string());
+                    }
+                }
+            }
+            if t.is_punct('|') && self.closure_trigger(j, i) {
+                let mut scope: Vec<String> = outer_scope.to_vec();
+                scope.extend(def.params.iter().cloned());
+                scope.extend(def.locals.iter().cloned());
+                j = self.closure(j, end, closures, &scope);
                 continue;
             }
             if t.kind == TokKind::Ident && !NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
@@ -703,7 +1101,9 @@ impl CallGraph {
             nodes: Vec::new(),
             by_name: BTreeMap::new(),
         };
+        let mut base = Vec::with_capacity(g.files.len());
         for (fi, file) in g.files.iter().enumerate() {
+            base.push(g.nodes.len());
             for (li, f) in file.fns.iter().enumerate() {
                 let idx = g.nodes.len();
                 g.nodes.push(FnNode {
@@ -715,7 +1115,11 @@ impl CallGraph {
                     is_pub: f.is_pub,
                     callees: Vec::new(),
                 });
-                g.by_name.entry(f.name.clone()).or_default().push(idx);
+                // closures never resolve by name; `{closure@N}` can
+                // collide across a file and is reached via `encl` edges
+                if !f.is_closure {
+                    g.by_name.entry(f.name.clone()).or_default().push(idx);
+                }
             }
         }
         for idx in 0..g.nodes.len() {
@@ -726,6 +1130,12 @@ impl CallGraph {
                     if target != idx {
                         callees.insert(target);
                     }
+                }
+            }
+            // synthetic edge: enclosing fn → each of its closures
+            for (ci, cf) in g.files[fi].fns.iter().enumerate() {
+                if cf.is_closure && cf.encl == Some(li) && !g.files[fi].fns[li].is_closure {
+                    callees.insert(base[fi] + ci);
                 }
             }
             g.nodes[idx].callees = callees.into_iter().collect();
@@ -918,5 +1328,134 @@ mod tests {
         )]);
         let f = g.nodes.iter().position(|n| n.name == "f").unwrap();
         assert!(g.nodes[f].callees.is_empty());
+    }
+
+    #[test]
+    fn all_params_and_locals_are_recorded() {
+        let syms = parse(
+            "impl T { fn m(&self, snap: &World, n: u32) { let total = n + 1;\n\
+             let mut acc: u32 = total; for row in rows { acc += row; } } }\n",
+        );
+        let m = &syms.fns[0];
+        assert_eq!(m.params, vec!["self", "snap", "n"]);
+        assert_eq!(m.locals, vec!["total", "acc", "row"]);
+    }
+
+    #[test]
+    fn closure_becomes_anonymous_fn_with_captures() {
+        let syms = parse(
+            "fn outer(snap: &World, dict: &Dict) {\n\
+             let scale = 2;\n\
+             let out = map_indexed(&units, |i, unit| { helper(snap, scale); dict.classify(unit) });\n\
+             }\n",
+        );
+        let names: Vec<&str> = syms.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "{closure@3}"]);
+        let c = &syms.fns[1];
+        assert!(c.is_closure);
+        assert_eq!(c.passed_to.as_deref(), Some("map_indexed"));
+        assert_eq!(c.params, vec!["i", "unit"]);
+        // free idents resolved against outer's params + locals; `i` and
+        // `unit` are bound, `helper` is a call, `units` is module-level
+        assert_eq!(c.captures, vec!["dict", "scale", "snap"]);
+        assert_eq!(c.encl, Some(0));
+        // the closure's calls live on the closure, not on `outer`
+        assert!(c.calls.iter().any(|s| s.callee == "helper"));
+        assert!(!syms.fns[0].calls.iter().any(|s| s.callee == "helper"));
+        assert!(syms.fns[0].calls.iter().any(|s| s.callee == "map_indexed"));
+    }
+
+    #[test]
+    fn logical_or_and_bitor_are_not_closures() {
+        let syms = parse("fn f(a: bool, b: u32) -> bool { a || (b | 3) > 4 }\n");
+        assert_eq!(syms.fns.len(), 1, "no phantom closures from `||` or `|`");
+    }
+
+    #[test]
+    fn expression_bodied_and_nested_closures() {
+        let syms = parse(
+            "fn outer(n: u32) {\n\
+             let f = |x: u32| x + n;\n\
+             run(move || { inner_call(n); spawn(|| n + 1); });\n\
+             }\n",
+        );
+        let names: Vec<&str> = syms.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["outer", "{closure@2}", "{closure@3}", "{closure@3}"]
+        );
+        let expr = &syms.fns[1];
+        assert_eq!(expr.captures, vec!["n"]);
+        assert_eq!(expr.passed_to, None, "let-bound, not an argument");
+        // nested closures attach flat to the enclosing fn
+        let spawned = syms
+            .fns
+            .iter()
+            .find(|f| f.passed_to.as_deref() == Some("spawn"));
+        assert_eq!(spawned.unwrap().encl, Some(0));
+        let run = syms
+            .fns
+            .iter()
+            .find(|f| f.passed_to.as_deref() == Some("run"));
+        assert!(run.unwrap().calls.iter().any(|s| s.callee == "inner_call"));
+    }
+
+    #[test]
+    fn closure_panics_and_edges_flow_through_the_graph() {
+        let g = CallGraph::build(vec![parse_file(
+            "crates/demo/src/lib.rs",
+            "pub fn api() { par_run(|| deep()); }\n\
+             fn par_run(f: u32) {}\n\
+             fn deep() { x.unwrap(); }\n",
+        )]);
+        let deep = g.nodes.iter().position(|n| n.name == "deep").unwrap();
+        let next = g.reach(|i| i == deep);
+        let api = g.nodes.iter().position(|n| n.name == "api").unwrap();
+        let chain = g.chain(api, &next);
+        assert_eq!(g.chain_names(&chain), "api -> {closure@1} -> deep");
+        let closure = g
+            .nodes
+            .iter()
+            .position(|n| n.name.starts_with("{closure"))
+            .unwrap();
+        assert!(g.def(closure).is_closure);
+        assert_eq!(g.def(closure).passed_to.as_deref(), Some("par_run"));
+    }
+
+    #[test]
+    fn interior_mutability_fields_and_statics() {
+        let syms = parse(
+            "struct View { memo: RefCell<HashMap<u32, u32>>, n: u32, hits: AtomicU64 }\n\
+             struct Plain { k: u32 }\n\
+             static TOTAL: AtomicUsize = AtomicUsize::new(0);\n\
+             static NAME: &str = \"x\";\n\
+             static mut RAW: u32 = 0;\n\
+             thread_local! { static SCRATCH: Cell<u32> = Cell::new(0); }\n",
+        );
+        assert!(syms.im_fields.contains(&(
+            "View".to_string(),
+            "memo".to_string(),
+            "RefCell".to_string()
+        )));
+        assert!(syms.im_fields.contains(&(
+            "View".to_string(),
+            "hits".to_string(),
+            "AtomicU64".to_string()
+        )));
+        assert!(!syms.im_fields.iter().any(|(s, ..)| s == "Plain"));
+        assert!(syms
+            .im_statics
+            .contains(&("TOTAL".to_string(), "AtomicUsize".to_string())));
+        assert!(syms
+            .im_statics
+            .contains(&("RAW".to_string(), "static mut".to_string())));
+        assert!(syms
+            .im_statics
+            .contains(&("SCRATCH".to_string(), "thread_local".to_string())));
+        assert!(!syms.im_statics.iter().any(|(n, _)| n == "NAME"));
+        // hash recording still works alongside the IM table
+        assert!(syms
+            .hash_fields
+            .contains(&("View".to_string(), "memo".to_string())));
     }
 }

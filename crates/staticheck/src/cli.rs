@@ -32,7 +32,7 @@ use route_server::rules::ImportRule;
 
 use crate::allow::Allowlist;
 use crate::diag::{Diagnostic, Report};
-use crate::{dataflow, lints, policy, sarif};
+use crate::{cache, dataflow, diag, lints, policy, sarif};
 
 /// A self-contained policy-verification scenario, loadable from JSON.
 /// Used by the seeded-violation fixtures under `tests/fixtures/`.
@@ -108,6 +108,7 @@ struct Options {
     fixture: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     no_allowlist: bool,
+    cache: Option<PathBuf>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +137,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fixture: None,
         allowlist: None,
         no_allowlist: false,
+        cache: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -171,6 +173,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.allowlist = Some(PathBuf::from(v));
             }
             "--no-allowlist" => opts.no_allowlist = true,
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a file path")?;
+                opts.cache = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -197,6 +203,13 @@ options:
   --fixture F.json verify a self-contained policy scenario
   --allowlist F    allowlist file (default: <root>/staticheck.toml)
   --no-allowlist   ignore the allowlist entirely
+  --cache FILE     incremental cache (e.g. target/staticheck.cache):
+                   unchanged files reuse cached findings, changed files
+                   re-analyze with their reverse-callgraph cone; warm
+                   output is byte-identical to a cold run
+  --explain SCxxx  print the catalog entry for a diagnostic code
+                   (rationale + waiver policy) and exit; unknown codes
+                   exit 2
 
 exit codes: 0 = clean, 1 = error-grade findings, 2 = internal error";
 
@@ -222,8 +235,29 @@ pub fn run(args: &[String]) -> i32 {
         println!("{USAGE}");
         return 0;
     }
+    // `--explain SCxxx`: print the catalog entry and exit (2 on an
+    // unknown code, so CI scripts notice typos)
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(code) = args.get(pos + 1) else {
+            eprintln!("staticheck: --explain needs a diagnostic code (e.g. SC109)");
+            return 2;
+        };
+        return match diag::explain(code) {
+            Some(text) => {
+                print!("{text}");
+                0
+            }
+            None => {
+                eprintln!("staticheck: unknown diagnostic code {code:?}");
+                2
+            }
+        };
+    }
     match run_captured(args) {
         Ok((report, output)) => {
+            if let Some(stats) = &output.cache_stats {
+                eprintln!("{stats}");
+            }
             match output.format {
                 Format::Json => println!("{}", report.render_json()),
                 Format::Sarif => print!("{}", sarif::render_sarif(&report)),
@@ -239,12 +273,15 @@ pub fn run(args: &[String]) -> i32 {
 }
 
 /// How [`run`] should print the report.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OutputOpts {
     /// Selected output format.
     pub format: Format,
     /// Include warning-severity findings in text output.
     pub warnings: bool,
+    /// Cache-hit statistics for stderr / the CI artifact, when the run
+    /// used `--cache`.
+    pub cache_stats: Option<String>,
 }
 
 /// The testable core of [`run`]: everything but printing and exiting.
@@ -264,22 +301,44 @@ pub fn run_captured(args: &[String]) -> Result<(Report, OutputOpts), String> {
     };
 
     let mut findings = Vec::new();
-    if opts.mode != Mode::Lints {
-        match &opts.fixture {
-            Some(path) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
-                let fixture: Fixture = serde_json::from_str(&text)
-                    .map_err(|e| format!("bad fixture {}: {e}", path.display()))?;
-                findings.extend(fixture.verify());
+    let mut cache_stats = None;
+    if let (Some(cache_path), None) = (&opts.cache, &opts.fixture) {
+        // the cached pipeline covers policy + lints + dataflow in one
+        // pass; fixtures bypass it (their inputs live outside the tree)
+        let allow_salt = if opts.no_allowlist {
+            "no-allowlist".to_string()
+        } else {
+            cache::fnv_hex(format!("{:?}", allowlist.entries).as_bytes())
+        };
+        let shape = cache::RunShape {
+            root: &opts.root,
+            only: opts.only.as_deref(),
+            run_policy: opts.mode != Mode::Lints,
+            run_lints: opts.mode != Mode::Policy,
+            allow_salt: &allow_salt,
+        };
+        let (cached, stats) =
+            cache::analyze(&shape, &allowlist, cache_path, verify_builtin_schemes);
+        findings = cached;
+        cache_stats = Some(stats.render());
+    } else {
+        if opts.mode != Mode::Lints {
+            match &opts.fixture {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
+                    let fixture: Fixture = serde_json::from_str(&text)
+                        .map_err(|e| format!("bad fixture {}: {e}", path.display()))?;
+                    findings.extend(fixture.verify());
+                }
+                None => findings.extend(verify_builtin_schemes()),
             }
-            None => findings.extend(verify_builtin_schemes()),
         }
-    }
-    if opts.mode != Mode::Policy {
-        let only = opts.only.as_deref();
-        findings.extend(lints::lint_workspace(&opts.root, only));
-        findings.extend(dataflow::analyze(&opts.root, &allowlist, only));
+        if opts.mode != Mode::Policy {
+            let only = opts.only.as_deref();
+            findings.extend(lints::lint_workspace(&opts.root, only));
+            findings.extend(dataflow::analyze(&opts.root, &allowlist, only));
+        }
     }
 
     let mut report = Report::default();
@@ -295,6 +354,7 @@ pub fn run_captured(args: &[String]) -> Result<(Report, OutputOpts), String> {
         OutputOpts {
             format: opts.format,
             warnings: opts.warnings,
+            cache_stats,
         },
     ))
 }

@@ -90,7 +90,7 @@ const SORTERS: [&str; 6] = [
 
 /// Is a call to `name` (optionally `qual::name`) a serialization /
 /// digest / metrics sink? Macro names carry their `!`.
-fn is_sink_name(qual: Option<&str>, name: &str) -> bool {
+pub(crate) fn is_sink_name(qual: Option<&str>, name: &str) -> bool {
     if let Some(base) = name.strip_suffix('!') {
         return matches!(
             base,
@@ -133,6 +133,20 @@ pub fn analyze(root: &Path, allow: &Allowlist, only: Option<&str>) -> Vec<Diagno
 
 /// The testable core: analyze in-memory `(rel_path, source)` pairs.
 pub fn analyze_sources(sources: &[(String, String)], allow: &Allowlist) -> Vec<Diagnostic> {
+    analyze_sources_filtered(sources, allow, None)
+}
+
+/// Like [`analyze_sources`], but when `dirty` is `Some`, the per-file
+/// checks (SC107/SC108/SC109/SC111/SC112) scan and report only
+/// functions defined in the listed file indices — the incremental
+/// cache's reverse-callgraph cone. The global passes (SC110) always run
+/// over the whole graph; reachability maps are always global, so a
+/// dirty file's chains still extend through clean files.
+pub fn analyze_sources_filtered(
+    sources: &[(String, String)],
+    allow: &Allowlist,
+    dirty: Option<&BTreeSet<usize>>,
+) -> Vec<Diagnostic> {
     let files: Vec<FileSyms> = sources
         .iter()
         .map(|(rel, text)| parse_file(rel, text))
@@ -148,15 +162,21 @@ pub fn analyze_sources(sources: &[(String, String)], allow: &Allowlist) -> Vec<D
             .any(|c| is_sink_name(c.qualifier.as_deref(), &c.callee))
     });
 
+    let in_scope = |file: usize| dirty.is_none_or(|d| d.contains(&file));
     let mut out = Vec::new();
-    sc107(&graph, &sink_next, &mut out);
-    sc108(&graph, allow, &mut out);
+    sc107(&graph, &sink_next, &in_scope, &mut out);
+    sc108(&graph, allow, &in_scope, &mut out);
+    crate::concurrency::check(&graph, &sink_next, &in_scope, &mut out);
     out
 }
 
 /// Render the witness chain from a call into `callee` down to the
 /// concrete sink call, e.g. `` `emit` -> `render` (sink `writeln!`) ``.
-fn sink_chain(graph: &CallGraph, sink_next: &[Option<usize>], callee: &str) -> Option<String> {
+pub(crate) fn sink_chain(
+    graph: &CallGraph,
+    sink_next: &[Option<usize>],
+    callee: &str,
+) -> Option<String> {
     if is_sink_name(None, callee) {
         return Some(format!("sink `{callee}`"));
     }
@@ -194,7 +214,12 @@ enum ChainEnd {
     Sink(String),
 }
 
-fn sc107(graph: &CallGraph, sink_next: &[Option<usize>], out: &mut Vec<Diagnostic>) {
+fn sc107(
+    graph: &CallGraph,
+    sink_next: &[Option<usize>],
+    in_scope: &impl Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
     // every hash-typed struct field name in the workspace: receivers are
     // matched by path segment, not resolved types
     let hash_fields: BTreeSet<&str> = graph
@@ -203,9 +228,18 @@ fn sc107(graph: &CallGraph, sink_next: &[Option<usize>], out: &mut Vec<Diagnosti
         .flat_map(|f| f.hash_fields.iter().map(|(_, field)| field.as_str()))
         .collect();
     for (fi, file) in graph.files.iter().enumerate() {
+        if !in_scope(fi) {
+            continue;
+        }
         for (li, def) in file.fns.iter().enumerate() {
             let _ = li;
             if def.body.0 == def.body.1 {
+                continue;
+            }
+            // closure token ranges lie inside the enclosing fn's body, so
+            // the enclosing scan already covers them; a second scan would
+            // double-report every finding
+            if def.is_closure {
                 continue;
             }
             let mut scan = FnScan {
@@ -820,7 +854,12 @@ impl FnScan<'_> {
 
 // --- SC108: interprocedural panic reachability ---------------------------
 
-fn sc108(graph: &CallGraph, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn sc108(
+    graph: &CallGraph,
+    allow: &Allowlist,
+    in_scope: &impl Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
     let in_bin = |rel: &str| rel.contains("/src/bin/");
     // a panic site is sanctioned when an SC101 allowlist entry covers it
     let sanctioned = |rel: &str, line: u32| {
@@ -845,12 +884,17 @@ fn sc108(graph: &CallGraph, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
         .collect();
     let next = graph.reach(|i| seeds[i]);
     for (i, node) in graph.nodes.iter().enumerate() {
-        if !node.is_pub || in_bin(&node.rel) || next[i].is_none() {
+        if !in_scope(node.file) || !node.is_pub || in_bin(&node.rel) || next[i].is_none() {
             continue;
         }
         let chain = graph.chain(i, &next);
         if chain.len() < 2 {
             continue; // the entry panics directly: that is SC101's report
+        }
+        // a chain that only descends into the entry's own closures is a
+        // panic in the entry's own body — also SC101's report
+        if chain[1..].iter().all(|&n| graph.def(n).is_closure) {
+            continue;
         }
         let seed = *chain.last().unwrap_or(&i);
         let site = graph

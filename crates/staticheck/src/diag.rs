@@ -13,9 +13,9 @@ use serde::{Deserialize, Serialize};
 
 /// Every stable diagnostic code, in catalog order (SC0xx = policy
 /// verifier, SC1xx = workspace linter + dataflow).
-pub const CODES: [&str; 14] = [
+pub const CODES: [&str; 18] = [
     "SC001", "SC002", "SC003", "SC004", "SC005", "SC006", "SC101", "SC102", "SC103", "SC104",
-    "SC105", "SC106", "SC107", "SC108",
+    "SC105", "SC106", "SC107", "SC108", "SC109", "SC110", "SC111", "SC112",
 ];
 
 /// One-line description of a diagnostic code (the SARIF rule catalog).
@@ -35,8 +35,140 @@ pub fn describe(code: &str) -> &'static str {
         "SC106" => "trace-context plumbing outside its sanctioned crates",
         "SC107" => "hash-map iteration order can reach serialized output",
         "SC108" => "public function can reach a panic (interprocedural)",
+        "SC109" => "par-task closure captures or reaches interior mutability",
+        "SC110" => "inconsistent lock-acquisition order across call chains",
+        "SC111" => "Ordering::Relaxed atomic value flows into serialized output",
+        "SC112" => "blocking call inside a par-task closure with no deadline",
         _ => "unknown diagnostic code",
     }
+}
+
+/// Full catalog entry for `staticheck --explain SCxxx`: rationale and
+/// waiver policy, a few lines each. `None` for unknown codes (exit 2).
+pub fn explain(code: &str) -> Option<String> {
+    let (rationale, waiver) = match code {
+        "SC001" => (
+            "An import rule is dead when earlier rules jointly cover every\n\
+             input it could match (exact interval arithmetic over AFI, prefix\n\
+             length, peer, and community). Dead rules mislead operators about\n\
+             what the route server actually does.",
+            "Waive only for rules kept deliberately as documentation; say so.",
+        ),
+        "SC002" => (
+            "Two rules whose matchers intersect apply contradictory actions to\n\
+             the shared inputs; which one wins depends on evaluation order.",
+            "Waive only when order-dependence is the documented intent.",
+        ),
+        "SC003" => (
+            "An action community targeting an AS with no session at the route\n\
+             server can never influence export — the paper's §5.5 static half.",
+            "Waive for members expected to connect soon; name the member.",
+        ),
+        "SC004" => (
+            "Two dictionary patterns give one community value two meanings;\n\
+             resolution would depend on entry order, not semantics.",
+            "Waive only when specificity precedence provably disambiguates.",
+        ),
+        "SC005" => (
+            "An applied import-rule action that no export path consults is\n\
+             configuration noise and usually a typo'd community value.",
+            "Waive for staged rollouts where the export half lands later.",
+        ),
+        "SC006" => (
+            "The same pattern maps to conflicting actions in different IXP\n\
+             dictionaries, so cross-IXP comparisons silently disagree.",
+            "Waive only with a citation for each IXP's documented semantics.",
+        ),
+        "SC101" => (
+            "unwrap/expect/panic! in library code turns recoverable situations\n\
+             into aborts, and SC108 treats each site as a reachability seed.",
+            "Waive with an argument why the panic is unreachable (totality,\n\
+             checked invariant); SC108 trusts that argument.",
+        ),
+        "SC102" => (
+            "Raw clock reads outside obs make runs time-dependent and break\n\
+             byte-identical replay; obs::clock is the one sanctioned source.",
+            "Waive only in transport/timing code that never feeds analysis\n\
+             output.",
+        ),
+        "SC103" => (
+            "Metric/span names minted ad hoc drift from the obs::names\n\
+             registry, breaking dashboards and the SC104 consistency check.",
+            "No waivers: add the name to obs::names instead.",
+        ),
+        "SC104" => (
+            "The obs::names registry must stay sorted, duplicate-free, and\n\
+             referenced; an inconsistent registry invalidates SC103.",
+            "No waivers: fix the registry.",
+        ),
+        "SC105" => (
+            "Raw std::thread spawns bypass the par pool's determinism story\n\
+             (ordered join, accounted metrics) and its PAR_THREADS override.",
+            "Waive only for long-lived service threads (e.g. the looking-glass\n\
+             accept loop) that never touch analysis state.",
+        ),
+        "SC106" => (
+            "Trace-context plumbing outside its sanctioned crates duplicates\n\
+             propagation logic and breaks causal trace reconstruction.",
+            "No waivers: route through the sanctioned API.",
+        ),
+        "SC107" => (
+            "HashMap/HashSet iteration order differs across processes; one\n\
+             unsorted path into serialized output breaks every byte-identical\n\
+             oracle (par equivalence, trace digests, golden fixtures).",
+            "Waive only when the consumer is provably order-insensitive and a\n\
+             BTree/sort rewrite is impractical; explain both.",
+        ),
+        "SC108" => (
+            "A public function that can transitively reach a panic gives\n\
+             callers an abort surface no signature warns about.",
+            "Waive the underlying SC101 site with an unreachability argument;\n\
+             SC108 inherits it.",
+        ),
+        "SC109" => (
+            "A par-task closure (passed to par::map_indexed, thread::scope, or\n\
+             a spawned handler) that captures or transitively reaches interior\n\
+             mutability (RefCell, Cell, Mutex, RwLock, Atomic*, static mut,\n\
+             thread_local!) makes task outcomes depend on scheduling. RefCell\n\
+             and friends additionally panic on cross-thread borrow collisions.\n\
+             Unsynchronized types are errors; lock/atomic types are warnings\n\
+             (safe, but still a determinism hazard worth a look).",
+            "Waiverable only via staticheck.toml with a determinism argument:\n\
+             the reason must explain why every interleaving produces identical\n\
+             output (e.g. commutative monotonic counters merged post-join).",
+        ),
+        "SC110" => (
+            "Two call chains that acquire the same pair of locks in opposite\n\
+             orders can deadlock under concurrent execution — the classic\n\
+             hazard for the multi-client looking-glass serving path. The check\n\
+             collects per-function lock sequences (strict `let guard = ..`\n\
+             bindings only) and propagates them through the call graph.",
+            "Waive only when the two chains provably never run concurrently;\n\
+             name the serialization mechanism.",
+        ),
+        "SC111" => (
+            "An atomic read with Ordering::Relaxed carries no happens-before\n\
+             edge: the value observed depends on the CPU and the scheduler.\n\
+             Letting it flow into serialized output, metrics asserted by\n\
+             tests, or trace digests makes byte-identity runs flaky.",
+            "Waive with an output-invariance argument: the value must be\n\
+             provably identical at the read point in every execution (e.g.\n\
+             read after all writers joined).",
+        ),
+        "SC112" => (
+            "A blocking call (stream read/write, sleep, pace, recv) inside a\n\
+             par-task closure with no timeout/deadline anywhere on the chain\n\
+             lets one straggler serialize the whole pool: the ordered join\n\
+             waits for every task.",
+            "Waive with the bound: why the blocking call terminates promptly\n\
+             (bounded input, local socket) or why stalling is acceptable.",
+        ),
+        _ => return None,
+    };
+    Some(format!(
+        "{code}: {}\n\nrationale:\n{rationale}\n\nwaiver policy:\n{waiver}\n",
+        describe(code)
+    ))
 }
 
 /// How bad a finding is. Only non-allowlisted [`Severity::Error`]

@@ -79,8 +79,13 @@
 //! `HashMap`/`HashSet` iteration order reaching serialized output
 //! without an intervening sort (with the call chain named in the
 //! diagnostic), SC108 reports public functions that can reach a panic
-//! through the call graph. Design notes and accepted blind spots live
-//! in the [`dataflow`] module docs and TESTING.md.
+//! through the call graph. The call graph models closures as anonymous
+//! functions with capture lists, which powers the concurrency-safety
+//! engine ([`concurrency`]): SC109 interior mutability reachable from a
+//! par-task closure, SC110 inconsistent lock-acquisition order, SC111
+//! `Ordering::Relaxed` values flowing into serialized output, SC112
+//! blocking calls in par tasks without a deadline. Design notes and
+//! accepted blind spots live in the module docs and TESTING.md.
 //!
 //! Sanctioned exceptions live in `staticheck.toml` at the repo root
 //! ([`allow`]); every entry needs a reason. Output renders as text,
@@ -90,8 +95,10 @@
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod cache;
 pub mod callgraph;
 pub mod cli;
+pub mod concurrency;
 pub mod dataflow;
 pub mod diag;
 pub mod lexer;

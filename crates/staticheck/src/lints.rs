@@ -95,8 +95,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lint one cleaned file.
-fn lint_file(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
+/// Lint one cleaned file (shared with [`crate::cache`], which calls it
+/// per changed file and reuses cached findings for the rest).
+pub(crate) fn lint_file(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
     let cleaned = clean_source(text);
     let in_obs = rel.starts_with("crates/obs/");
     let in_bin = rel.contains("/src/bin/");
@@ -273,7 +274,7 @@ fn check_metric_names(rel: &str, lineno: usize, line: &str, out: &mut Vec<Diagno
 /// SC104: the `obs::names` registry is self-consistent. Parses the raw
 /// source of `crates/obs/src/names.rs` — the registry is the one place
 /// literals are allowed, so it gets its own structural check.
-fn check_names_registry(root: &Path, out: &mut Vec<Diagnostic>) {
+pub(crate) fn check_names_registry(root: &Path, out: &mut Vec<Diagnostic>) {
     let path = root.join("crates/obs/src/names.rs");
     let rel = "crates/obs/src/names.rs";
     let Ok(text) = std::fs::read_to_string(&path) else {

@@ -1,0 +1,33 @@
+//! Seeded SC109: interior mutability meets a par-task closure two ways.
+//! `tally` captures a `RefCell` local of its enclosing function;
+//! `run` hands `par::map_indexed` a closure that reaches a `RefCell`
+//! field through a call chain (`analyze_unit` -> `classify`). Both are
+//! errors (unsynchronized interior mutability inside a parallel task).
+
+use std::cell::RefCell;
+
+pub struct View {
+    memo: RefCell<u32>,
+}
+
+impl View {
+    pub fn classify(&self) -> u32 {
+        *self.memo.borrow()
+    }
+}
+
+fn analyze_unit(v: &View) -> u32 {
+    v.classify()
+}
+
+pub fn tally(units: &[u32]) -> Vec<u32> {
+    let acc = RefCell::new(0u32);
+    map_indexed(units, |i, u| {
+        *acc.borrow_mut() += u;
+        i as u32
+    })
+}
+
+pub fn run(v: &View, units: &[u32]) -> Vec<u32> {
+    map_indexed(units, |_i, _u| analyze_unit(v))
+}

@@ -1,0 +1,32 @@
+//! Seeded SC110: two paths acquire the same pair of mutexes in
+//! opposite orders — `forward` takes `a` then (via `grab_b`) `b`,
+//! while `backward` takes `b` then `a`. Concurrent execution can
+//! deadlock; the check must name both witness chains.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+fn grab_b(s: &Shared) -> u32 {
+    let g = s.b.lock();
+    drop(g);
+    0
+}
+
+pub fn forward(s: &Shared) -> u32 {
+    let ga = s.a.lock();
+    let r = grab_b(s);
+    drop(ga);
+    r
+}
+
+pub fn backward(s: &Shared) -> u32 {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    drop(ga);
+    drop(gb);
+    1
+}

@@ -1,0 +1,15 @@
+//! Seeded SC111: the value of an `Ordering::Relaxed` atomic load is
+//! bound to a local and flows into a serializing sink (`format!`)
+//! through `render_count` — with no acquire/release edge, the observed
+//! value is schedule-dependent and so is the serialized output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn render_count(n: u64) -> String {
+    format!("count={n}")
+}
+
+pub fn emit(counter: &AtomicU64) -> String {
+    let n = counter.load(Ordering::Relaxed);
+    render_count(n)
+}

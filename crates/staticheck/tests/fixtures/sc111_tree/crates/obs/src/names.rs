@@ -1,0 +1,8 @@
+//! Minimal `obs::names` registry: keeps SC104 satisfied so the tree
+//! isolates the seeded SC111 violation.
+
+pub const DEMO_COUNT: &str = "demo.count";
+
+pub const ALL: [&str; 1] = [
+    DEMO_COUNT,
+];

@@ -1,0 +1,14 @@
+//! Seeded SC112: a par-task closure reaches a blocking `sleep` through
+//! `throttle` with no timeout or deadline anywhere on the chain — one
+//! straggling task serializes the whole pool behind the ordered join.
+
+fn throttle() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+pub fn run(units: &[u32]) -> Vec<u32> {
+    map_indexed(units, |i, _u| {
+        throttle();
+        i as u32
+    })
+}
