@@ -1,0 +1,117 @@
+//! Event-path ingestion cost: the BMP-style feed's `RouterState` must
+//! absorb a full day of per-update events far faster than the snapshot
+//! collector can poll — the issue's bar is ≥1M updates/sec on this
+//! container.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bgp_model::asn::Asn;
+use bgp_model::route::Route;
+use community_dict::ixp::IxpId;
+use looking_glass::api::StreamFrame;
+use route_server::events::RibEvent;
+use stream::RouterState;
+
+const PEERS: u32 = 64;
+
+fn frame(seq: u64, event: RibEvent) -> StreamFrame {
+    StreamFrame { seq, event }
+}
+
+/// A feed shaped like a real day: peer-ups, then a dense announce mix
+/// over a working set of prefixes (reannouncements overwrite), with a
+/// sprinkle of withdraws and peer bounces that exercise every arm of
+/// `RouterState::apply`.
+fn day_of_updates(n: usize) -> Vec<StreamFrame> {
+    let mut frames = Vec::with_capacity(n);
+    let mut seq = 0u64;
+    for p in 0..PEERS {
+        seq += 1;
+        frames.push(frame(
+            seq,
+            RibEvent::PeerUp {
+                peer: Asn(64_000 + p),
+                ipv4: true,
+                ipv6: p % 2 == 0,
+            },
+        ));
+    }
+    while frames.len() < n {
+        seq += 1;
+        let i = seq as u32;
+        let peer = Asn(64_000 + (i % PEERS));
+        let event = match i % 97 {
+            0 => RibEvent::PeerDown { peer },
+            1 => RibEvent::PeerUp {
+                peer,
+                ipv4: true,
+                ipv6: true,
+            },
+            k if k % 11 == 2 => RibEvent::Withdraw {
+                peer,
+                prefix: format!("10.{}.{}.0/24", (i / 256) % 200, i % 256)
+                    .parse()
+                    .expect("valid prefix"),
+            },
+            _ => {
+                let prefix = format!("10.{}.{}.0/24", (i / 256) % 200, i % 256)
+                    .parse()
+                    .expect("valid prefix");
+                let route = Route::builder(prefix, "198.32.0.7".parse().expect("valid next hop"))
+                    .path([peer.0, 15_169])
+                    .build();
+                RibEvent::Announce { peer, route }
+            }
+        };
+        frames.push(frame(seq, event));
+    }
+    frames
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let frames = day_of_updates(100_000);
+    let mut group = c.benchmark_group("stream_ingest");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("100k_updates", |b| {
+        b.iter_batched(
+            || RouterState::new(IxpId::DeCixFra),
+            |mut state| {
+                for f in &frames {
+                    state.ingest(f, true);
+                }
+                black_box(state.stats().applied)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_replay_dedup(c: &mut Criterion) {
+    // a full session-reset replay: every frame is a duplicate, so this
+    // measures the cursor fast-path that makes resyncs cheap
+    let frames = day_of_updates(100_000);
+    let mut primed = RouterState::new(IxpId::DeCixFra);
+    for f in &frames {
+        primed.ingest(f, true);
+    }
+    let mut group = c.benchmark_group("stream_ingest");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("100k_replayed_dupes", |b| {
+        b.iter_batched(
+            || primed.clone(),
+            |mut state| {
+                for f in &frames {
+                    state.ingest(f, true);
+                }
+                black_box(state.stats().dupes_dropped)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_replay_dedup);
+criterion_main!(benches);

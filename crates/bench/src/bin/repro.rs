@@ -110,6 +110,9 @@ fn main() {
                      type-counts fig5 fig6 ineffective fig7 table3 table4 sanitation overlap all\n\
                      extra (not in `all`): chaos — run the deterministic fault-injection \
                      corpus (CHAOS_SEEDS=N overrides the seed count)\n\
+                     extra (not in `all`): stream — run the BMP-style dual campaign \
+                     (streamed feed vs snapshot polls; STREAM_DAYS=N overrides the \
+                     day count) and print the stream metrics + equivalence verdict\n\
                      --trace FILE: record the causal span trace and write it as Chrome \
                      trace_event JSON (open in Perfetto), plus a self-time table\n\
                      repro perf --check [--baseline F] [--current F] [--tolerance X]: \
@@ -185,9 +188,12 @@ fn main() {
         }
     }
 
-    let needs_world = experiments
-        .iter()
-        .any(|e| !matches!(e.as_str(), "table3" | "table4" | "sanitation" | "chaos"));
+    let needs_world = experiments.iter().any(|e| {
+        !matches!(
+            e.as_str(),
+            "table3" | "table4" | "sanitation" | "chaos" | "stream"
+        )
+    });
     // (the overlap analysis also needs the world)
     let ctx = if needs_world {
         eprintln!(
@@ -252,6 +258,7 @@ fn main() {
             "sanitation" => run_sanitation(&ctx),
             "overlap" => run_overlap(&ctx),
             "chaos" => run_chaos(seed),
+            "stream" => run_stream(seed),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -1218,4 +1225,97 @@ fn run_chaos(master_seed: u64) {
         std::process::exit(1);
     }
     println!("chaos: all {seeds} seed(s) green and deterministic\n");
+}
+
+/// `repro stream` — run the BMP-style dual campaign: the streamed
+/// monitoring feed and the snapshot collector over the same faulty
+/// transport, checked by the equivalence and update-conservation
+/// oracles. Prints the `stream.*` metrics the drain recorded and exits
+/// nonzero if any oracle fires. Not part of `all`: like chaos it
+/// validates the pipeline, not the paper's numbers.
+fn run_stream(master_seed: u64) {
+    use chaos::prelude::*;
+
+    let days: u32 = std::env::var("STREAM_DAYS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let cfg = CampaignConfig {
+        days,
+        ..CampaignConfig::default()
+    };
+    let plan = FaultPlan::from_seed(master_seed, cfg.days);
+    println!(
+        "stream: {days} day(s) over {:?} at scale {}, {} worker thread(s)",
+        cfg.ixp,
+        cfg.scale,
+        par::threads()
+    );
+
+    let registry = obs::global();
+    let updates = registry.counter(obs::names::STREAM_UPDATES);
+    let resyncs = registry.counter(obs::names::STREAM_RESYNCS);
+    let synth = registry.counter(obs::names::STREAM_SYNTH_WITHDRAWS);
+    let dupes = registry.counter(obs::names::STREAM_DUPES_DROPPED);
+    let polls = registry.counter(obs::names::STREAM_POLLS);
+    let queue_depth = registry.gauge(obs::names::STREAM_QUEUE_DEPTH);
+    let before = (
+        updates.get(),
+        resyncs.get(),
+        synth.get(),
+        dupes.get(),
+        polls.get(),
+    );
+
+    let outcome = run_stream_campaign(master_seed, &plan, &cfg);
+    let violations = check_stream_campaign(&outcome, &plan, &cfg);
+
+    println!("  stream.updates         {}", updates.get() - before.0);
+    println!("  stream.resyncs         {}", resyncs.get() - before.1);
+    println!("  stream.synth_withdraws {}", synth.get() - before.2);
+    println!("  stream.dupes_dropped   {}", dupes.get() - before.3);
+    println!("  stream.polls           {}", polls.get() - before.4);
+    println!(
+        "  stream.queue_depth     {} (at quiescence)",
+        queue_depth.get()
+    );
+    println!(
+        "  frames minted {} / applied {} — conservation {}",
+        outcome.frames_minted,
+        outcome.stream_stats.applied,
+        if outcome.frames_minted == outcome.stream_stats.applied {
+            "holds"
+        } else {
+            "BROKEN"
+        }
+    );
+    println!(
+        "  {} fault(s) injected across {} day(s); dual dataset {:016x}",
+        outcome.stats.total_faults(),
+        outcome.days.len(),
+        outcome.dataset_hash
+    );
+
+    let diverged = outcome
+        .days
+        .iter()
+        .filter(|r| r.streamed_hash != r.reference_hash)
+        .count();
+    if violations.is_empty() && diverged == 0 {
+        println!(
+            "stream: every day byte-identical to the polled reference \
+             ({days}/{days} green)\n"
+        );
+    } else {
+        for v in &violations {
+            println!("  violation: {v}");
+        }
+        eprintln!(
+            "stream: {diverged} day(s) diverged, {} violation(s) \
+             (replay: seed={master_seed:#x}, plan={})",
+            violations.len(),
+            plan.to_json()
+        );
+        std::process::exit(1);
+    }
 }

@@ -154,6 +154,7 @@ pub fn standard_scenario(
         ixps: ixps.to_vec(),
         failures: looking_glass::server::FailureModel::NONE,
         day: 83,
+        mode: ixp_sim::timeline::CollectionMode::Snapshot,
     };
     let scenario = scenario::run(&config);
     let dicts = ixps.iter().map(|i| schemes::dictionary(*i)).collect();

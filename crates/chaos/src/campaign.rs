@@ -125,6 +125,20 @@ pub fn dataset_hash(raw: &SnapshotStore, sanitized: &SnapshotStore) -> u64 {
     hash_store(sanitized, hash_store(raw, FNV_OFFSET))
 }
 
+/// FNV-1a fingerprint of one snapshot store on its own (the equivalence
+/// tests compare streamed and polled datasets by this).
+pub fn store_fingerprint(store: &SnapshotStore) -> u64 {
+    hash_store(store, FNV_OFFSET)
+}
+
+/// FNV-1a fingerprint of one serialized snapshot.
+pub fn snapshot_fingerprint(snap: &looking_glass::snapshot::Snapshot) -> u64 {
+    match serde_json::to_vec(snap) {
+        Ok(bytes) => fnv1a(&bytes, FNV_OFFSET),
+        Err(_) => fnv1a(b"<unserializable>", FNV_OFFSET),
+    }
+}
+
 fn default_limiter() -> RateLimiter {
     // LgServer's construction-time default (capacity 40, 20/s); there is
     // no getter, so the restore after a storm day re-states it.
@@ -277,6 +291,205 @@ pub fn run_campaign(seed: u64, plan: &FaultPlan, cfg: &CampaignConfig) -> Campai
     }
 }
 
+/// One day of a dual (snapshot + stream) campaign.
+#[derive(Debug, Clone)]
+pub struct StreamDayRecord {
+    /// Day index.
+    pub day: u32,
+    /// Whether the chaotic polled collection produced a snapshot.
+    pub snapshot: Result<(), LgError>,
+    /// Whether the chaotic mid-day stream drain reached quiescence.
+    pub drain: Result<(), LgError>,
+    /// Whether the fault-free end-of-day reference collection succeeded.
+    pub reference: Result<(), LgError>,
+    /// Logical milliseconds the whole day consumed (both paths).
+    pub virtual_ms: u64,
+    /// Fingerprint of the snapshot synthesized from the streamed state at
+    /// the quiescent end of the day.
+    pub streamed_hash: u64,
+    /// Fingerprint of the reference snapshot polled at the same point.
+    pub reference_hash: u64,
+}
+
+/// Everything a finished dual campaign exposes to the stream oracles.
+pub struct StreamCampaignOutcome {
+    /// Per-day records, both paths.
+    pub days: Vec<StreamDayRecord>,
+    /// Snapshots synthesized from the streamed state, one per day.
+    pub streamed: SnapshotStore,
+    /// Fault-free reference snapshots polled at end of day, one per day.
+    pub reference: SnapshotStore,
+    /// What the injector did (both paths share the transport).
+    pub stats: InjectStats,
+    /// The stream collector's cumulative accounting.
+    pub stream_stats: stream::state::StreamStats,
+    /// Frames the feed ever minted (replays re-serve, they do not mint).
+    pub frames_minted: u64,
+    /// Total logical time the campaign consumed.
+    pub virtual_ms: u64,
+    /// FNV-1a hash over streamed + reference datasets — the determinism
+    /// fingerprint of the dual campaign.
+    pub dataset_hash: u64,
+}
+
+/// Run one dual campaign: each day does the chaotic polled collection
+/// *and* a chaotic stream drain through the same fault-injecting
+/// transport, then — after the day's world mutations are undone and the
+/// remaining events drained fault-free — synthesizes the streamed
+/// end-of-day snapshot and polls a fault-free reference snapshot from
+/// the very same server. The headline contract is byte identity between
+/// the two, checked per day by [`crate::oracle::check_stream_campaign`].
+pub fn run_stream_campaign(
+    seed: u64,
+    plan: &FaultPlan,
+    cfg: &CampaignConfig,
+) -> StreamCampaignOutcome {
+    let _span = obs::span!(obs::names::CHAOS_CAMPAIGN);
+    let world = build_ixp(
+        cfg.ixp,
+        &WorldConfig {
+            seed,
+            scale: cfg.scale,
+        },
+    );
+    let rs = Arc::new(RwLock::new(world.rs));
+    let lg = LgServer::new(Arc::clone(&rs), seed ^ 0x16_5EED);
+    let clock = VirtualClock::new(0);
+    let collector = Collector::new(cfg.collector.clone());
+    // retry depth matches the polled collector's: at corpus fault rates a
+    // lost poll is a deterministic non-event, so drain errors stay a
+    // real oracle signal
+    let stream_collector =
+        stream::collector::StreamCollector::new(stream::collector::StreamConfig {
+            max_retries: 8,
+            dedup_replays: !plan.replay_without_dedup,
+            ..stream::collector::StreamConfig::default()
+        });
+    let mut state = stream::state::RouterState::new(cfg.ixp);
+
+    let mut streamed = SnapshotStore::new();
+    let mut reference = SnapshotStore::new();
+    let mut stats = InjectStats::default();
+    let mut days = Vec::with_capacity(cfg.days as usize);
+
+    for day in 0..cfg.days {
+        clock.advance_to(u64::from(day) * DAY_MS);
+        let day_start = clock.now_ms();
+
+        let truncating = plan.truncate_days.contains(&day);
+        if truncating {
+            lg.set_failures(FailureModel {
+                error_rate: 0.0,
+                truncate_rate: 1.0,
+            });
+        }
+        let storming = plan.storm_days.contains(&day);
+        if storming {
+            lg.set_limiter(storm_limiter());
+        }
+
+        // between-day flap; with the silent-loss fixture switch the peer
+        // goes down for good (its teardown is the event the feed loses)
+        let mut flapped: Option<(Member, Vec<Route>)> = None;
+        if plan.flap_days.contains(&day) && !plan.mid_collection_flap {
+            let target = flap_target(&rs.read(), cfg.afi);
+            if let Some(member) = target {
+                let routes = saved_routes(&rs.read(), member.asn);
+                rs.write().remove_member(member.asn);
+                stats.flapped.insert(day, member.asn);
+                if !plan.lose_peer_down_silent {
+                    flapped = Some((member, routes));
+                }
+            }
+        }
+
+        let (snap_result, drain_result, churned, flap_dropped) = {
+            let mut transport =
+                ChaosTransport::new(&lg, &clock, plan, Arc::clone(&rs), day, seed, &mut stats);
+            let snap = collector.collect_with_clock(&mut transport, cfg.afi, day, &clock);
+            let drain = stream_collector.drain_with_clock(&mut state, &mut transport, &clock);
+            let churned = std::mem::take(&mut transport.churned_routes);
+            let flap_dropped = std::mem::take(&mut transport.flap_dropped);
+            (snap, drain, churned, flap_dropped)
+        };
+
+        // undo the day's world mutations so the next day starts clean
+        {
+            let mut rs = rs.write();
+            for (peer, prefix) in churned {
+                rs.withdraw(peer, &prefix);
+            }
+            for (peer, route) in flap_dropped {
+                rs.announce(peer, route);
+            }
+            if let Some((member, routes)) = flapped {
+                rs.add_member(member.asn, member.ipv4, member.ipv6);
+                for route in routes {
+                    rs.announce(member.asn, route);
+                }
+            }
+        }
+        if truncating {
+            lg.set_failures(FailureModel::NONE);
+        }
+        if storming {
+            lg.set_limiter(default_limiter());
+        }
+
+        // quiescent point: drain the undo events fault-free, then poll
+        // the reference snapshot from the same server
+        let final_drain = {
+            let mut plain = &lg;
+            stream_collector.drain_with_clock(&mut state, &mut plain, &clock)
+        };
+        let drain_result = drain_result.and(final_drain).map(|_| ());
+        let reference_result = {
+            let mut plain = &lg;
+            collector.collect_with_clock(&mut plain, cfg.afi, day, &clock)
+        };
+
+        let streamed_snap = state.to_snapshot(cfg.afi, day);
+        let streamed_hash = snapshot_fingerprint(&streamed_snap);
+        streamed.insert(streamed_snap);
+        let (reference_result, reference_hash) = match reference_result {
+            Ok(report) => {
+                let hash = snapshot_fingerprint(&report.snapshot);
+                reference.insert(report.snapshot);
+                (Ok(()), hash)
+            }
+            Err(e) => (Err(e), 0),
+        };
+
+        days.push(StreamDayRecord {
+            day,
+            snapshot: snap_result.map(|_| ()),
+            drain: drain_result,
+            reference: reference_result,
+            virtual_ms: clock.now_ms().saturating_sub(day_start),
+            streamed_hash,
+            reference_hash,
+        });
+    }
+
+    let virtual_ms = clock.now_ms();
+    let hash = hash_store(&reference, hash_store(&streamed, FNV_OFFSET));
+
+    let m = crate::metrics::handles();
+    m.campaigns.inc();
+    m.virtual_ms.record(virtual_ms);
+
+    StreamCampaignOutcome {
+        days,
+        streamed,
+        reference,
+        stats,
+        stream_stats: state.stats(),
+        frames_minted: lg.stream_frames_minted(),
+        virtual_ms,
+        dataset_hash: hash,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +522,49 @@ mod tests {
             a.stats.faults, b.stats.faults,
             "fault injection must be deterministic"
         );
+    }
+
+    #[test]
+    fn fault_free_stream_campaign_matches_the_polled_reference() {
+        let cfg = CampaignConfig::default();
+        let outcome = run_stream_campaign(0xBA5E, &FaultPlan::none(), &cfg);
+        assert_eq!(outcome.streamed.len(), cfg.days as usize);
+        assert_eq!(outcome.reference.len(), cfg.days as usize);
+        for rec in &outcome.days {
+            assert!(rec.snapshot.is_ok(), "day {}: {:?}", rec.day, rec.snapshot);
+            assert!(rec.drain.is_ok(), "day {}: {:?}", rec.day, rec.drain);
+            assert!(
+                rec.reference.is_ok(),
+                "day {}: {:?}",
+                rec.day,
+                rec.reference
+            );
+            assert_eq!(
+                rec.streamed_hash, rec.reference_hash,
+                "day {}: streamed state must match the polled snapshot",
+                rec.day
+            );
+            assert!(rec.virtual_ms <= DAY_BUDGET_MS);
+        }
+        // update conservation: every minted frame applied exactly once
+        assert_eq!(outcome.stream_stats.applied, outcome.frames_minted);
+        assert_eq!(outcome.stream_stats.dupes_dropped, 0);
+    }
+
+    #[test]
+    fn chaotic_stream_campaign_still_converges() {
+        let cfg = CampaignConfig::default();
+        let plan = FaultPlan::from_seed(5, cfg.days);
+        let outcome = run_stream_campaign(5, &plan, &cfg);
+        for rec in &outcome.days {
+            assert!(rec.drain.is_ok(), "day {}: {:?}", rec.day, rec.drain);
+            assert_eq!(
+                rec.streamed_hash, rec.reference_hash,
+                "day {}: defended faults must not corrupt the streamed state",
+                rec.day
+            );
+        }
+        assert_eq!(outcome.stream_stats.applied, outcome.frames_minted);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use looking_glass::api::{LgError, LgRequest, LgResponse};
 use looking_glass::client::LgTransport;
 use looking_glass::clock::{Clock, VirtualClock};
 use looking_glass::server::LgServer;
+use route_server::events::RibEvent;
 use route_server::server::RouteServer;
 
 use crate::plan::{FaultClass, FaultPlan};
@@ -247,12 +248,21 @@ impl LgTransport for ChaosTransport<'_> {
                 self.apply_mid_flap(*peer);
             }
         }
+        // monitoring-session reset: the server forgets the cursor and
+        // replays the feed (frames keep their original seq numbers)
+        if matches!(req, LgRequest::StreamPoll { .. }) {
+            let reset_per_mille = self.plan.reset_per_mille;
+            if self.chance(reset_per_mille) {
+                self.lg.reset_stream();
+                self.stats.count(FaultClass::Reset);
+            }
+        }
 
         // use the campaign clock, not the caller's idea of it, so
         // injected delays are visible to the server's rate limiter
         let now = now_ms.max(self.clock.now_ms());
         self.stats.forwarded += 1;
-        let resp = self.lg.handle(req, now)?;
+        let mut resp = self.lg.handle(req, now)?;
 
         if let LgResponse::Summary { members, .. } = &resp {
             for m in members {
@@ -266,6 +276,43 @@ impl LgTransport for ChaosTransport<'_> {
         let garbage_per_mille = self.plan.garbage_per_mille;
         if self.chance(garbage_per_mille) {
             return Err(self.garbage_error(&resp));
+        }
+
+        // lost peer-down on the event feed
+        if let LgResponse::StreamEvents {
+            frames, backlog, ..
+        } = &mut resp
+        {
+            if self.plan.lose_peer_down_silent {
+                // fixture-only: the teardown is *masked* — served as a
+                // peer-up glitch with the same seq, so the cursor moves
+                // past it and the store keeps the dead peer's routes
+                for frame in frames.iter_mut() {
+                    if let RibEvent::PeerDown { peer } = frame.event {
+                        frame.event = RibEvent::PeerUp {
+                            peer,
+                            ipv4: true,
+                            ipv6: true,
+                        };
+                        self.stats.count(FaultClass::LostPeerDown);
+                    }
+                }
+            } else if let Some(cut) = frames
+                .iter()
+                .position(|f| matches!(f.event, RibEvent::PeerDown { .. }))
+            {
+                // defended variant: the page is cut just before the
+                // peer-down, as if the session died mid-transfer; the
+                // reported backlog grows by the cut, so the collector
+                // re-polls and the cursor re-serves the tail intact
+                let lost_down_per_mille = self.plan.lost_down_per_mille;
+                if self.chance(lost_down_per_mille) {
+                    let dropped = (frames.len() - cut) as u64;
+                    frames.truncate(cut);
+                    *backlog += dropped;
+                    self.stats.count(FaultClass::LostPeerDown);
+                }
+            }
         }
 
         // duplicated / reordered route pages

@@ -13,7 +13,8 @@
 //!   (the vendored `proptest` stand-in deliberately has none);
 //! - [`plan`] — fault plans: dropped/duplicated/delayed responses,
 //!   garbage frames, out-of-order and truncated route pages, rate-limit
-//!   storms, flapping peers, RIB churn between pages — as data;
+//!   storms, flapping peers, RIB churn between pages, monitoring-session
+//!   resets, and lost peer-down events on the stream feed — as data;
 //! - [`inject`] — the [`inject::ChaosTransport`] wrapper that applies a
 //!   plan to an in-process Looking Glass server;
 //! - [`campaign`] — the multi-day campaign driver, fingerprinting its
@@ -21,7 +22,8 @@
 //! - [`oracle`] — the invariant oracles: completeness, summary
 //!   agreement, pagination integrity, conservation vs the fault-free
 //!   baseline, sanitation idempotence, retry bounds, time budgets,
-//!   determinism.
+//!   determinism — plus the stream path's end-of-day equivalence and
+//!   update-conservation oracles.
 //!
 //! ```
 //! use chaos::prelude::*;
@@ -48,12 +50,13 @@ pub mod prop;
 /// Common imports for chaos tests.
 pub mod prelude {
     pub use crate::campaign::{
-        dataset_hash, run_campaign, CampaignConfig, CampaignOutcome, DayRecord, DAY_BUDGET_MS,
-        DAY_MS,
+        dataset_hash, run_campaign, run_stream_campaign, snapshot_fingerprint, store_fingerprint,
+        CampaignConfig, CampaignOutcome, DayRecord, StreamCampaignOutcome, StreamDayRecord,
+        DAY_BUDGET_MS, DAY_MS,
     };
     pub use crate::corpus::{run_corpus, SeedOutcome};
     pub use crate::inject::{ChaosTransport, InjectStats};
-    pub use crate::oracle::{check_campaign, check_determinism, Violation};
+    pub use crate::oracle::{check_campaign, check_determinism, check_stream_campaign, Violation};
     pub use crate::plan::{FaultClass, FaultPlan};
     pub use crate::prop::{check, iteration_seed, CheckConfig, Choices, CounterExample};
 }

@@ -96,6 +96,27 @@ pub enum Violation {
         /// Second run's dataset hash.
         second: u64,
     },
+    /// The snapshot synthesized from the streamed state at the quiescent
+    /// end of a day is not byte-identical to the reference snapshot
+    /// polled from the same server at the same point.
+    StreamDivergence {
+        /// Day of the divergence.
+        day: u32,
+        /// Fingerprint of the streamed snapshot.
+        streamed: u64,
+        /// Fingerprint of the polled reference snapshot.
+        reference: u64,
+    },
+    /// The stream collector's applied-update count disagrees with the
+    /// frames the feed minted: replayed frames were double-applied
+    /// (applied > minted — the dedup failure) or updates were silently
+    /// lost (applied < minted).
+    StreamConservationBroken {
+        /// Events the collector applied.
+        applied: u64,
+        /// Frames the feed ever minted.
+        minted: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -143,6 +164,20 @@ impl fmt::Display for Violation {
             }
             Violation::NonDeterministic { first, second } => {
                 write!(f, "non-deterministic: {first:#018x} != {second:#018x}")
+            }
+            Violation::StreamDivergence {
+                day,
+                streamed,
+                reference,
+            } => write!(
+                f,
+                "day {day}: streamed state diverged: {streamed:#018x} != reference {reference:#018x}"
+            ),
+            Violation::StreamConservationBroken { applied, minted } => {
+                write!(
+                    f,
+                    "stream conservation broken: {applied} events applied vs {minted} frames minted"
+                )
             }
         }
     }
@@ -365,6 +400,64 @@ pub fn check_campaign(
         });
     }
 
+    if !violations.is_empty() {
+        let m = crate::metrics::handles();
+        for _ in &violations {
+            m.oracle_violations.inc();
+        }
+    }
+    violations
+}
+
+/// Check the stream invariants against a finished dual campaign: both
+/// collection paths complete within budget, the streamed end-of-day
+/// snapshot is byte-identical to the polled reference every day, and
+/// update conservation holds (every minted frame applied exactly once —
+/// replays deduped, nothing lost).
+pub fn check_stream_campaign(
+    outcome: &crate::campaign::StreamCampaignOutcome,
+    _plan: &FaultPlan,
+    _cfg: &CampaignConfig,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for rec in &outcome.days {
+        if let Err(e) = &rec.snapshot {
+            violations.push(Violation::CompletenessViolated {
+                day: rec.day,
+                detail: format!("polled day lost entirely: {e:?}"),
+            });
+        }
+        if let Err(e) = &rec.drain {
+            violations.push(Violation::CompletenessViolated {
+                day: rec.day,
+                detail: format!("stream drain failed: {e:?}"),
+            });
+        }
+        if let Err(e) = &rec.reference {
+            violations.push(Violation::CompletenessViolated {
+                day: rec.day,
+                detail: format!("reference collection failed: {e:?}"),
+            });
+        }
+        if rec.virtual_ms > DAY_BUDGET_MS {
+            violations.push(Violation::DayOverran {
+                day: rec.day,
+                virtual_ms: rec.virtual_ms,
+            });
+        }
+        if rec.reference.is_ok() && rec.streamed_hash != rec.reference_hash {
+            violations.push(Violation::StreamDivergence {
+                day: rec.day,
+                streamed: rec.streamed_hash,
+                reference: rec.reference_hash,
+            });
+        }
+    }
+    let applied = outcome.stream_stats.applied;
+    let minted = outcome.frames_minted;
+    if applied != minted {
+        violations.push(Violation::StreamConservationBroken { applied, minted });
+    }
     if !violations.is_empty() {
         let m = crate::metrics::handles();
         for _ in &violations {

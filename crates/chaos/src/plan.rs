@@ -30,11 +30,18 @@ pub enum FaultClass {
     Flap,
     /// RIB churn between route pages of one collection.
     Churn,
+    /// A monitoring-session reset: the server forgets the client's
+    /// cursor and replays the whole feed (the stream collector's dedup
+    /// must absorb it).
+    Reset,
+    /// An event feed page cut at a peer-down frame — the BMP hazard of
+    /// losing the session teardown notification.
+    LostPeerDown,
 }
 
 impl FaultClass {
     /// All classes, in injection order.
-    pub const ALL: [FaultClass; 9] = [
+    pub const ALL: [FaultClass; 11] = [
         FaultClass::Drop,
         FaultClass::Duplicate,
         FaultClass::Delay,
@@ -44,6 +51,8 @@ impl FaultClass {
         FaultClass::Storm,
         FaultClass::Flap,
         FaultClass::Churn,
+        FaultClass::Reset,
+        FaultClass::LostPeerDown,
     ];
 
     /// Stable lowercase name (used for `chaos.faults_injected.<class>`).
@@ -58,6 +67,8 @@ impl FaultClass {
             FaultClass::Storm => "storm",
             FaultClass::Flap => "flap",
             FaultClass::Churn => "churn",
+            FaultClass::Reset => "reset",
+            FaultClass::LostPeerDown => "lost_peer_down",
         }
     }
 }
@@ -102,6 +113,22 @@ pub struct FaultPlan {
     /// Fixture switch: the flap happens *between the summary and the
     /// route fetch* and silently drops one route on re-announce.
     pub mid_collection_flap: bool,
+    /// Per-mille probability a stream poll forces a monitoring-session
+    /// reset first (the server forgets the cursor and replays the feed).
+    pub reset_per_mille: u64,
+    /// Per-mille probability a stream-events response is cut just before
+    /// a peer-down frame (the cursor re-serves the tail on the next
+    /// poll, so a defended collector loses nothing).
+    pub lost_down_per_mille: u64,
+    /// Fixture switch: peer-down frames are *masked* on the feed (served
+    /// as a peer-up glitch with the cursor advancing past them) and the
+    /// day's flap is permanent — the streamed state keeps advertising a
+    /// dead peer's routes, which the stream-divergence oracle must catch.
+    pub lose_peer_down_silent: bool,
+    /// Fixture switch: the stream collector applies replayed frames
+    /// without sequence-number dedup, so a session reset double-applies
+    /// the feed — the update-conservation oracle must catch it.
+    pub replay_without_dedup: bool,
 }
 
 impl FaultPlan {
@@ -127,6 +154,8 @@ impl FaultPlan {
             delay_ms: c.draw(2_000),
             garbage_per_mille: c.draw(40),
             churn_events_per_day: 1 + c.draw(2) as u32,
+            reset_per_mille: c.draw(40),
+            lost_down_per_mille: c.draw(60),
             ..FaultPlan::default()
         };
         for day in 1..days.saturating_sub(1) {
@@ -160,6 +189,8 @@ impl FaultPlan {
                 && self.reorder_per_mille == 0
                 && self.delay_per_mille == 0
                 && self.garbage_per_mille == 0
+                && self.reset_per_mille == 0
+                && self.lost_down_per_mille == 0
                 && self.truncate_days.is_empty()
                 && self.storm_days.is_empty()
                 && self.flap_days.is_empty()
@@ -201,6 +232,8 @@ mod tests {
         assert!(corpus.iter().any(|p| p.reorder_per_mille > 0));
         assert!(corpus.iter().any(|p| p.delay_per_mille > 0));
         assert!(corpus.iter().any(|p| p.garbage_per_mille > 0));
+        assert!(corpus.iter().any(|p| p.reset_per_mille > 0));
+        assert!(corpus.iter().any(|p| p.lost_down_per_mille > 0));
         assert!(corpus.iter().any(|p| !p.truncate_days.is_empty()));
         assert!(corpus.iter().any(|p| !p.storm_days.is_empty()));
         assert!(corpus.iter().any(|p| !p.flap_days.is_empty()));

@@ -28,14 +28,24 @@ fn replay_hint(seed: u64, plan: &FaultPlan) -> String {
     )
 }
 
-/// Run the full (baseline, faulted, rerun) triple for one seed and
-/// return any violations, including the determinism check.
+/// Run the full (baseline, faulted, rerun) triple for one seed — plus
+/// the stream path's dual campaign and its determinism rerun — and
+/// return any violations.
 fn run_seed(seed: u64, plan: &FaultPlan, cfg: &CampaignConfig) -> Vec<Violation> {
     let baseline = run_campaign(seed, &FaultPlan::none(), cfg);
     let outcome = run_campaign(seed, plan, cfg);
     let mut violations = check_campaign(&outcome, &baseline, plan, cfg);
     let rerun = run_campaign(seed, plan, cfg);
     violations.extend(check_determinism(&outcome, &rerun));
+    let streamed = run_stream_campaign(seed, plan, cfg);
+    violations.extend(check_stream_campaign(&streamed, plan, cfg));
+    let stream_rerun = run_stream_campaign(seed, plan, cfg);
+    if streamed.dataset_hash != stream_rerun.dataset_hash {
+        violations.push(Violation::NonDeterministic {
+            first: streamed.dataset_hash,
+            second: stream_rerun.dataset_hash,
+        });
+    }
     violations
 }
 
@@ -61,7 +71,7 @@ fn corpus_all_seeds_green_and_deterministic() {
 
 #[test]
 fn corpus_plans_cover_every_fault_class() {
-    // the fixed CI corpus must actually exercise all nine classes
+    // the fixed CI corpus must actually exercise all eleven classes
     let cfg = CampaignConfig::default();
     let mut seen = std::collections::BTreeSet::new();
     for seed in corpus_seeds() {
@@ -77,6 +87,8 @@ fn corpus_plans_cover_every_fault_class() {
                 FaultClass::Storm => !plan.storm_days.is_empty(),
                 FaultClass::Flap => !plan.flap_days.is_empty(),
                 FaultClass::Churn => !plan.churn_days.is_empty(),
+                FaultClass::Reset => plan.reset_per_mille > 0,
+                FaultClass::LostPeerDown => plan.lost_down_per_mille > 0,
             };
             if covered {
                 seen.insert(class.name());
@@ -371,6 +383,95 @@ fn fixture_head_insert_churn_shifts_pagination() {
             )
         },
         "DuplicateRoute/SummaryMismatch",
+    );
+}
+
+#[test]
+fn fixture_replayed_reset_without_dedup_breaks_conservation() {
+    // a monitoring-session reset replays the feed from the start; a
+    // collector that does not dedup by sequence number double-applies
+    // the replayed frames, and the update-conservation oracle (events
+    // applied vs frames minted) must catch it
+    let cfg = CampaignConfig::default();
+    let plan = FaultPlan {
+        reset_per_mille: 500,
+        replay_without_dedup: true,
+        ..FaultPlan::none()
+    };
+    let outcome = run_stream_campaign(0xDA, &plan, &cfg);
+    let v = check_stream_campaign(&outcome, &plan, &cfg);
+    assert_fires(
+        &v,
+        |v| matches!(v, Violation::StreamConservationBroken { applied, minted } if applied > minted),
+        "StreamConservationBroken (double application)",
+    );
+}
+
+#[test]
+fn fixture_silently_lost_peer_down_diverges_the_stream() {
+    // the peer goes down for good but its teardown frame is masked on
+    // the feed: the store keeps advertising the dead peer's routes, and
+    // the end-of-day equivalence oracle must flag the divergence
+    let cfg = CampaignConfig::default();
+    let plan = FaultPlan {
+        flap_days: vec![2],
+        lose_peer_down_silent: true,
+        ..FaultPlan::none()
+    };
+    let outcome = run_stream_campaign(0xDB, &plan, &cfg);
+    let v = check_stream_campaign(&outcome, &plan, &cfg);
+    assert_fires(
+        &v,
+        |v| matches!(v, Violation::StreamDivergence { .. }),
+        "StreamDivergence",
+    );
+}
+
+#[test]
+fn session_resets_are_absorbed_by_dedup() {
+    // the defended pipeline: heavy reset pressure forces replays, but
+    // sequence-number dedup keeps conservation and equivalence intact
+    let cfg = CampaignConfig::default();
+    let plan = FaultPlan {
+        reset_per_mille: 500,
+        ..FaultPlan::none()
+    };
+    let outcome = run_stream_campaign(0xDC, &plan, &cfg);
+    let v = check_stream_campaign(&outcome, &plan, &cfg);
+    assert!(v.is_empty(), "expected clean absorption; got {v:?}");
+    assert!(
+        outcome.stats.faults.get("reset").copied().unwrap_or(0) > 0,
+        "the fixture must actually inject resets"
+    );
+    assert!(
+        outcome.stream_stats.dupes_dropped > 0,
+        "replays must have been deduped"
+    );
+}
+
+#[test]
+fn cut_peer_down_pages_are_absorbed_by_the_cursor() {
+    // the defended variant of the lost-peer-down fault: the page is cut
+    // before the teardown frame, the reported backlog grows, and the
+    // cursor re-serves the tail — nothing is lost
+    let cfg = CampaignConfig::default();
+    let plan = FaultPlan {
+        flap_days: vec![2],
+        lost_down_per_mille: 900,
+        ..FaultPlan::none()
+    };
+    let outcome = run_stream_campaign(0xDE, &plan, &cfg);
+    let v = check_stream_campaign(&outcome, &plan, &cfg);
+    assert!(v.is_empty(), "expected clean absorption; got {v:?}");
+    assert!(
+        outcome
+            .stats
+            .faults
+            .get("lost_peer_down")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the fixture must actually cut a peer-down page"
     );
 }
 

@@ -1,6 +1,8 @@
 //! End-to-end scenario driver: world → route servers → Looking Glasses →
 //! collector → snapshot store. This is the paper's §3 pipeline, run
-//! against the synthetic world.
+//! against the synthetic world — through either collection path:
+//! periodic snapshot polls, or the BMP-style monitoring stream whose
+//! end state must serialize identically.
 
 use std::sync::Arc;
 
@@ -11,7 +13,9 @@ use community_dict::ixp::IxpId;
 use looking_glass::client::{Collector, CollectorConfig};
 use looking_glass::server::{FailureModel, LgServer};
 use looking_glass::snapshot::SnapshotStore;
+use stream::{RouterState, StreamCollector};
 
+use crate::timeline::CollectionMode;
 use crate::world::{build_world, IxpWorld, WorldConfig};
 
 /// Scenario configuration.
@@ -25,6 +29,8 @@ pub struct ScenarioConfig {
     pub failures: FailureModel,
     /// The day index stamped on the collected snapshots.
     pub day: u32,
+    /// Collection path: snapshot polls or the streamed update feed.
+    pub mode: CollectionMode,
 }
 
 impl Default for ScenarioConfig {
@@ -34,6 +40,7 @@ impl Default for ScenarioConfig {
             ixps: IxpId::ALL.to_vec(),
             failures: FailureModel::NONE,
             day: 83, // the latest snapshot (4 Oct 2021 in the paper)
+            mode: CollectionMode::Snapshot,
         }
     }
 }
@@ -57,6 +64,7 @@ pub fn run(config: &ScenarioConfig) -> Scenario {
         build_world(&config.ixps, &config.world)
     };
     let collector = Collector::new(CollectorConfig::default());
+    let stream_collector = StreamCollector::default();
     let snapshots_collected = registry.counter(obs::names::SIM_SNAPSHOTS_COLLECTED);
     let collections_failed = registry.counter(obs::names::SIM_COLLECTIONS_FAILED);
     // Fan out per IXP: each task owns its LG (rate-limiter state and all)
@@ -76,14 +84,34 @@ pub fn run(config: &ScenarioConfig) -> Scenario {
         lg.set_failures(config.failures.clone());
         let mut snaps = Vec::with_capacity(2);
         let mut failed = 0u64;
-        for afi in [Afi::Ipv4, Afi::Ipv6] {
-            let mut transport = &*lg;
-            // start each collection far enough apart that the bucket refills
-            let start = (ixp as u64) * 100_000_000 + (afi as u64) * 50_000_000;
-            if let Ok(report) = collector.collect(&mut transport, afi, config.day, start) {
-                snaps.push(report.snapshot);
-            } else {
-                failed += 1;
+        match config.mode {
+            CollectionMode::Snapshot => {
+                for afi in [Afi::Ipv4, Afi::Ipv6] {
+                    let mut transport = &*lg;
+                    // start collections far enough apart that the bucket refills
+                    let start = (ixp as u64) * 100_000_000 + (afi as u64) * 50_000_000;
+                    if let Ok(report) = collector.collect(&mut transport, afi, config.day, start) {
+                        snaps.push(report.snapshot);
+                    } else {
+                        failed += 1;
+                    }
+                }
+            }
+            CollectionMode::Stream => {
+                // one drain rebuilds both families: the initial table dump
+                // replays the whole RIB, and the state store snapshots
+                // per-family views of the same incremental state
+                let mut transport = &*lg;
+                let mut state = RouterState::new(ixp);
+                let start = (ixp as u64) * 100_000_000;
+                match stream_collector.drain(&mut state, &mut transport, start) {
+                    Ok(_) => {
+                        for afi in [Afi::Ipv4, Afi::Ipv6] {
+                            snaps.push(state.to_snapshot(afi, config.day));
+                        }
+                    }
+                    Err(_) => failed += 2,
+                }
             }
         }
         (lg, snaps, failed)
@@ -116,6 +144,7 @@ mod tests {
             ixps: vec![IxpId::Linx, IxpId::AmsIx],
             failures: FailureModel::NONE,
             day: 83,
+            mode: CollectionMode::Snapshot,
         };
         let scenario = run(&config);
         assert_eq!(scenario.store.len(), 4); // 2 IXPs × 2 families
@@ -139,6 +168,35 @@ mod tests {
     }
 
     #[test]
+    fn streamed_scenario_serializes_identically_to_snapshots() {
+        let base = ScenarioConfig {
+            world: WorldConfig {
+                seed: 23,
+                scale: 0.01,
+            },
+            ixps: vec![IxpId::Bcix, IxpId::Netnod],
+            failures: FailureModel::NONE,
+            day: 41,
+            mode: CollectionMode::Snapshot,
+        };
+        let polled = run(&base);
+        let streamed = run(&ScenarioConfig {
+            mode: CollectionMode::Stream,
+            ..base
+        });
+        assert_eq!(polled.store.len(), streamed.store.len());
+        for ixp in [IxpId::Bcix, IxpId::Netnod] {
+            for afi in [Afi::Ipv4, Afi::Ipv6] {
+                let a = polled.store.get(ixp, afi, 41).expect("polled snapshot");
+                let b = streamed.store.get(ixp, afi, 41).expect("streamed snapshot");
+                let left = serde_json::to_string(a).expect("snapshot serializes");
+                let right = serde_json::to_string(b).expect("snapshot serializes");
+                assert_eq!(left, right, "{ixp}/{afi}: streamed state diverged");
+            }
+        }
+    }
+
+    #[test]
     fn flaky_lg_still_collects_fully() {
         let config = ScenarioConfig {
             world: WorldConfig {
@@ -148,6 +206,7 @@ mod tests {
             ixps: vec![IxpId::Netnod],
             failures: FailureModel::FLAKY,
             day: 0,
+            mode: CollectionMode::Snapshot,
         };
         let scenario = run(&config);
         let snap = scenario.store.get(IxpId::Netnod, Afi::Ipv4, 0).unwrap();

@@ -17,6 +17,7 @@ use bgp_model::prefix::Afi;
 use bgp_model::route::Route;
 use community_dict::entry::DictionaryEntry;
 use community_dict::ixp::IxpId;
+use route_server::events::RibEvent;
 
 /// A request to the LG server.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,6 +42,20 @@ pub enum LgRequest {
     RsConfig,
     /// The RS configuration as text (the §3 artifact the paper fetched).
     RsConfigText,
+    /// Poll the BMP-style monitoring session for update events.
+    ///
+    /// `session` is the monitoring-session generation the client last saw
+    /// (0 for a fresh attach); `after` is the highest frame sequence
+    /// number it has received. When the server's session generation still
+    /// matches it serves frames with `seq > after`; when it does not
+    /// (the session was reset) it ignores `after` and **replays** from
+    /// the start of the feed — the client dedups by sequence number.
+    StreamPoll {
+        /// Session generation the client last observed.
+        session: u64,
+        /// Highest frame sequence number the client has received.
+        after: u64,
+    },
 }
 
 /// Trace context carried in the request framing (see `obs::trace`):
@@ -107,7 +122,34 @@ pub enum LgResponse {
         /// The configuration file contents.
         text: String,
     },
+    /// Response to [`LgRequest::StreamPoll`]: one page of the feed.
+    StreamEvents {
+        /// Current monitoring-session generation.
+        session: u64,
+        /// Up to [`STREAM_PAGE`] sequenced frames.
+        frames: Vec<StreamFrame>,
+        /// Frames still queued on the server past this page.
+        backlog: u64,
+        /// True when the server ignored the client's cursor because the
+        /// session generation changed — the page (re)starts the feed.
+        resync: bool,
+    },
 }
+
+/// One sequenced frame on the monitoring session. Sequence numbers are
+/// global and monotonic for the lifetime of the feed: a session reset
+/// changes the *generation*, not the numbering, so a replayed frame
+/// carries its original `seq` and the collector can dedup on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamFrame {
+    /// Position in the feed (1-based, dense).
+    pub seq: u64,
+    /// The update event.
+    pub event: RibEvent,
+}
+
+/// Frames per [`LgResponse::StreamEvents`] page.
+pub const STREAM_PAGE: usize = 256;
 
 /// Errors the LG can return (or the transport can surface).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

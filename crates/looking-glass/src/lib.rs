@@ -49,7 +49,7 @@ pub mod transport;
 /// Common re-exports.
 pub mod prelude {
     pub use crate::api::{
-        LgError, LgRequest, LgResponse, MemberSummary, TraceContext, TracedRequest,
+        LgError, LgRequest, LgResponse, MemberSummary, StreamFrame, TraceContext, TracedRequest,
     };
     pub use crate::client::{CollectionReport, Collector, CollectorConfig, LgTransport};
     pub use crate::clock::{Clock, SystemClock, VirtualClock};

@@ -4,7 +4,7 @@
 
 use std::sync::OnceLock;
 
-use obs::{names, Counter, Histogram};
+use obs::{names, Counter, Gauge, Histogram};
 
 pub(crate) struct LgMetrics {
     // server side
@@ -16,6 +16,8 @@ pub(crate) struct LgMetrics {
     pub failures_injected: Counter,
     /// Routes pages silently truncated by the failure model.
     pub pages_truncated: Counter,
+    /// Monitoring-feed frames queued past the last served cursor.
+    pub stream_queue_depth: Gauge,
     // the serve latency (`lg.handle`) is recorded by the span the
     // server opens per request, not by a handle here
     // client side
@@ -40,6 +42,7 @@ pub(crate) fn handles() -> &'static LgMetrics {
             rate_limited: registry.counter(names::LG_RATE_LIMITED),
             failures_injected: registry.counter(names::LG_FAILURES_INJECTED),
             pages_truncated: registry.counter(names::LG_PAGES_TRUNCATED),
+            stream_queue_depth: registry.gauge(names::STREAM_QUEUE_DEPTH),
             client_requests: registry.counter(names::LG_CLIENT_REQUESTS),
             client_retries: registry.counter(names::LG_CLIENT_RETRIES),
             snapshots_complete: registry.counter(names::LG_CLIENT_SNAPSHOTS_COMPLETE),

@@ -11,9 +11,12 @@ use rand::{RngExt, SeedableRng};
 
 use bgp_model::prefix::Afi;
 
+use route_server::events::RibEvent;
 use route_server::server::RouteServer;
 
-use crate::api::{LgError, LgRequest, LgResponse, MemberSummary, PAGE_SIZE};
+use crate::api::{
+    LgError, LgRequest, LgResponse, MemberSummary, StreamFrame, PAGE_SIZE, STREAM_PAGE,
+};
 
 /// Token-bucket rate limiter with an explicit clock (milliseconds).
 #[derive(Debug, Clone)]
@@ -79,12 +82,32 @@ impl FailureModel {
     };
 }
 
+/// The BMP-style monitoring feed of one LG server: an append-only frame
+/// log with dense 1-based sequence numbers and a session generation. A
+/// reset bumps the generation only — replayed frames keep their original
+/// sequence numbers, which is what lets the collector dedup them.
+#[derive(Debug, Default)]
+struct StreamFeed {
+    /// Session generation (0 = feed never polled; first poll sets 1).
+    session: u64,
+    /// Every frame since the feed started; `log[i].seq == i as u64 + 1`.
+    log: Vec<StreamFrame>,
+}
+
+impl StreamFeed {
+    fn push(&mut self, event: RibEvent) {
+        let seq = self.log.len() as u64 + 1;
+        self.log.push(StreamFrame { seq, event });
+    }
+}
+
 /// The LG server fronting one route server.
 pub struct LgServer {
     rs: Arc<RwLock<RouteServer>>,
     limiter: RwLock<RateLimiter>,
     failures: RwLock<FailureModel>,
     rng: RwLock<StdRng>,
+    stream: RwLock<StreamFeed>,
 }
 
 impl LgServer {
@@ -96,7 +119,27 @@ impl LgServer {
             limiter: RwLock::new(RateLimiter::new(40, 20.0)),
             failures: RwLock::new(FailureModel::NONE),
             rng: RwLock::new(StdRng::seed_from_u64(seed)),
+            stream: RwLock::new(StreamFeed::default()),
         }
+    }
+
+    /// Reset the monitoring session: the next [`LgRequest::StreamPoll`]
+    /// ignores the client's cursor and replays the feed from the start
+    /// under a new session generation (frames keep their sequence
+    /// numbers, so a deduping collector absorbs the replay).
+    pub fn reset_stream(&self) {
+        let mut feed = self.stream.write();
+        if feed.session > 0 {
+            feed.session += 1;
+        }
+    }
+
+    /// Frames ever minted onto the monitoring feed (replays re-serve
+    /// existing frames and do not mint). At quiescence a deduping
+    /// collector's applied count must equal this exactly — the stream
+    /// update-conservation invariant the chaos oracle checks.
+    pub fn stream_frames_minted(&self) -> u64 {
+        self.stream.read().log.len() as u64
     }
 
     /// Replace the failure model (e.g. for an outage day).
@@ -166,6 +209,75 @@ impl LgServer {
                     ),
                 })
             }
+            LgRequest::StreamPoll { session, after } => {
+                Ok(self.stream_poll(*session, *after, truncate))
+            }
+        }
+    }
+
+    /// Serve one page of the monitoring feed. The first poll ever primes
+    /// the feed: event recording is switched on at the route server and
+    /// an initial table dump (peer-up per member, then each member's
+    /// stored routes in prefix order) is synthesized under the same write
+    /// lock, so no mutation can fall between the dump and the incremental
+    /// tail. Later polls drain the route server's event log into the
+    /// feed before serving.
+    fn stream_poll(&self, client_session: u64, after: u64, truncate: bool) -> LgResponse {
+        let mut feed = self.stream.write();
+        if feed.session == 0 {
+            feed.session = 1;
+            let mut rs = self.rs.write();
+            rs.enable_events();
+            // discard anything recorded before the feed existed: the dump
+            // below reflects the net state those events produced
+            let _ = rs.take_events();
+            let members: Vec<route_server::server::Member> = rs.members().copied().collect();
+            for m in &members {
+                feed.push(RibEvent::PeerUp {
+                    peer: m.asn,
+                    ipv4: m.ipv4,
+                    ipv6: m.ipv6,
+                });
+            }
+            for m in &members {
+                if let Some(table) = rs.accepted().peer(m.asn) {
+                    for route in table.iter() {
+                        feed.push(RibEvent::Announce {
+                            peer: m.asn,
+                            route: route.clone(),
+                        });
+                    }
+                }
+            }
+        } else {
+            for event in self.rs.write().take_events() {
+                feed.push(event);
+            }
+        }
+        let resync = client_session != feed.session;
+        let start = if resync { 0 } else { after as usize };
+        let mut frames: Vec<StreamFrame> = feed
+            .log
+            .iter()
+            .skip(start)
+            .take(STREAM_PAGE)
+            .cloned()
+            .collect();
+        if truncate && frames.len() > 1 {
+            // silent partial page: harmless to a cursor-driven client,
+            // the tail is simply served again on the next poll
+            frames.truncate(frames.len() / 2);
+            crate::metrics::handles().pages_truncated.inc();
+        }
+        let backlog = feed.log.len().saturating_sub(start + frames.len()) as u64;
+        crate::metrics::handles()
+            .stream_queue_depth
+            .set(backlog as i64);
+        LgResponse::StreamEvents {
+            session: feed.session,
+            frames,
+            backlog,
+            resync,
         }
     }
 

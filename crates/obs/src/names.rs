@@ -163,6 +163,23 @@ pub fn par_task_site(site: &str) -> String {
     format!("{PAR_TASK_NS}/{site}")
 }
 
+// --- stream: BMP-style live collection ---
+
+/// Update events applied to the incremental state store (post-dedup).
+pub const STREAM_UPDATES: &str = "stream.updates";
+/// Monitoring-session resyncs the collector performed (reset + replay).
+pub const STREAM_RESYNCS: &str = "stream.resyncs";
+/// Withdraws synthesized by the state store on peer-down events.
+pub const STREAM_SYNTH_WITHDRAWS: &str = "stream.synth_withdraws";
+/// Replayed frames skipped by sequence-number dedup.
+pub const STREAM_DUPES_DROPPED: &str = "stream.dupes_dropped";
+/// Gauge: server-side frames still queued past the collector's cursor.
+pub const STREAM_QUEUE_DEPTH: &str = "stream.queue_depth";
+/// Poll requests the stream collector issued (retries included).
+pub const STREAM_POLLS: &str = "stream.polls";
+/// Span: drain one monitoring session to quiescence.
+pub const STREAM_DRAIN: &str = "stream.drain";
+
 // --- analysis ---
 
 /// Span: build the full table/figure report.
@@ -233,6 +250,13 @@ pub const ALL: &[&str] = &[
     CHAOS_ORACLE_VIOLATIONS,
     CHAOS_VIRTUAL_MS,
     CHAOS_CORPUS,
+    STREAM_UPDATES,
+    STREAM_RESYNCS,
+    STREAM_SYNTH_WITHDRAWS,
+    STREAM_DUPES_DROPPED,
+    STREAM_QUEUE_DEPTH,
+    STREAM_POLLS,
+    STREAM_DRAIN,
     PAR_TASKS,
     PAR_STEALS,
     PAR_QUEUE_DEPTH,

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod events;
 pub mod filter;
 pub mod metrics;
 pub mod policy;
@@ -45,6 +46,7 @@ pub mod stats;
 /// Common re-exports.
 pub mod prelude {
     pub use crate::config::{RsConfig, ScrubPolicy};
+    pub use crate::events::RibEvent;
     pub use crate::filter::{check_import, FilterReason};
     pub use crate::policy::{ExportDecision, RoutePolicy};
     pub use crate::rules::{ImportRule, RuleAction, RuleMatch};

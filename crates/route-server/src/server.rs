@@ -25,6 +25,7 @@ use community_dict::ixp::IxpId;
 use community_dict::schemes;
 
 use crate::config::{RsConfig, ScrubPolicy};
+use crate::events::RibEvent;
 use crate::filter::{check_import, is_blackhole_request, FilterReason};
 use crate::metrics::RsMetrics;
 use crate::policy::RoutePolicy;
@@ -84,6 +85,8 @@ pub struct RouteServer {
     filtered: Vec<FilteredRoute>,
     stats: RsStats,
     metrics: RsMetrics,
+    /// BMP-style event log: `Some` while recording is enabled.
+    events: Option<Vec<RibEvent>>,
 }
 
 impl RouteServer {
@@ -113,6 +116,34 @@ impl RouteServer {
             filtered: Vec::new(),
             stats: RsStats::default(),
             metrics: RsMetrics::new(registry),
+            events: None,
+        }
+    }
+
+    /// Start recording [`RibEvent`]s for every subsequent RIB mutation.
+    /// Idempotent; recording is off by default and costs nothing then.
+    pub fn enable_events(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded events (empty when recording is disabled).
+    pub fn take_events(&mut self) -> Vec<RibEvent> {
+        match &mut self.events {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Is event recording enabled?
+    pub fn events_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    fn emit(&mut self, event: impl FnOnce() -> RibEvent) {
+        if let Some(log) = &mut self.events {
+            log.push(event());
         }
     }
 
@@ -140,17 +171,26 @@ impl RouteServer {
         });
         m.ipv4 |= ipv4;
         m.ipv6 |= ipv6;
+        let (v4, v6) = (m.ipv4, m.ipv6);
         self.rib.ensure_peer(asn);
         self.metrics.members.set(self.members.len() as i64);
+        self.emit(|| RibEvent::PeerUp {
+            peer: asn,
+            ipv4: v4,
+            ipv6: v6,
+        });
     }
 
     /// Remove a member and all its routes (session down).
     pub fn remove_member(&mut self, asn: Asn) {
-        self.members.remove(&asn);
+        let existed = self.members.remove(&asn).is_some();
         self.rib.remove_peer(asn);
         self.policies.retain(|(peer, _), _| *peer != asn);
         self.filtered.retain(|f| f.peer != asn);
         self.metrics.members.set(self.members.len() as i64);
+        if existed {
+            self.emit(|| RibEvent::PeerDown { peer: asn });
+        }
     }
 
     /// Member table.
@@ -183,6 +223,8 @@ impl RouteServer {
                 self.stats.routes_withdrawn += 1;
                 self.metrics.routes_withdrawn.inc();
                 self.policies.remove(&(peer, *prefix));
+                let prefix = *prefix;
+                self.emit(|| RibEvent::Withdraw { peer, prefix });
             }
         }
         Ok(content
@@ -298,6 +340,14 @@ impl RouteServer {
         }
 
         self.policies.insert((peer, route.prefix), policy);
+        if self.events.is_some() {
+            // the event carries the route exactly as stored
+            let stored = route.clone();
+            self.emit(|| RibEvent::Announce {
+                peer,
+                route: stored,
+            });
+        }
         self.rib.announce(peer, route);
         self.stats.routes_accepted += 1;
         self.metrics.routes_accepted.inc();
@@ -311,6 +361,8 @@ impl RouteServer {
             self.stats.routes_withdrawn += 1;
             self.metrics.routes_withdrawn.inc();
             self.policies.remove(&(peer, *prefix));
+            let prefix = *prefix;
+            self.emit(|| RibEvent::Withdraw { peer, prefix });
         }
         had
     }

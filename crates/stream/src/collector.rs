@@ -1,0 +1,169 @@
+//! The streaming collector: polls a router's monitoring feed through any
+//! [`LgTransport`] until quiescent, maintaining a [`RouterState`].
+//!
+//! The poll loop mirrors the snapshot collector's discipline — paced
+//! requests, bounded retries with backoff, every wait routed through the
+//! [`Clock`] trait — so the same chaos transports and virtual-clock
+//! campaigns drive both paths. `TraceContext` propagation comes with the
+//! transport: a poll is an ordinary [`LgRequest`], so the TCP framing
+//! wraps it in a `TracedRequest` and the server adopts the caller's span
+//! exactly as it does for summary/routes requests.
+
+use looking_glass::api::{LgError, LgRequest, LgResponse};
+use looking_glass::client::LgTransport;
+use looking_glass::clock::{Clock, SystemClock, VirtualClock};
+
+use crate::metrics;
+use crate::state::RouterState;
+
+/// Stream-collector pacing, retry, and dedup configuration.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Milliseconds between consecutive polls (pacing).
+    pub poll_interval_ms: u64,
+    /// Retries per failed poll.
+    pub max_retries: u32,
+    /// Backoff after a failure or rate-limit response.
+    pub retry_backoff_ms: u64,
+    /// Skip replayed frames at or below the applied high-water mark.
+    /// The defended default; disable only to demonstrate the duplicate
+    /// application the chaos update-conservation oracle catches.
+    pub dedup_replays: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            poll_interval_ms: 60,
+            max_retries: 3,
+            retry_backoff_ms: 500,
+            dedup_replays: true,
+        }
+    }
+}
+
+/// Result of draining one feed to quiescence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainReport {
+    /// Poll requests issued (retries included).
+    pub polls: u64,
+    /// Polls that failed (transient or final).
+    pub failures: u64,
+    /// Frames received (before dedup).
+    pub frames: u64,
+    /// Events applied to the state store.
+    pub applied: u64,
+    /// Session resyncs observed during this drain.
+    pub resyncs: u64,
+    /// Simulated duration of the drain, ms.
+    pub duration_ms: u64,
+}
+
+/// The streaming collector.
+#[derive(Debug, Clone, Default)]
+pub struct StreamCollector {
+    config: StreamConfig,
+}
+
+impl StreamCollector {
+    /// Collector with explicit configuration.
+    pub fn new(config: StreamConfig) -> Self {
+        StreamCollector { config }
+    }
+
+    /// Drain `state`'s feed through `transport` until the server reports
+    /// an empty backlog. Picks the clock from the transport, like the
+    /// snapshot collector does.
+    pub fn drain<T: LgTransport>(
+        &self,
+        state: &mut RouterState,
+        transport: &mut T,
+        start_ms: u64,
+    ) -> Result<DrainReport, LgError> {
+        if transport.is_real_time() {
+            self.drain_with_clock(state, transport, &SystemClock::starting_at(start_ms))
+        } else {
+            self.drain_with_clock(state, transport, &VirtualClock::new(start_ms))
+        }
+    }
+
+    /// Drain the feed with every wait routed through `clock`.
+    pub fn drain_with_clock<T: LgTransport>(
+        &self,
+        state: &mut RouterState,
+        transport: &mut T,
+        clock: &dyn Clock,
+    ) -> Result<DrainReport, LgError> {
+        let _span = obs::span!(obs::names::STREAM_DRAIN);
+        let start_ms = clock.now_ms();
+        let before = state.stats();
+        let mut report = DrainReport::default();
+        loop {
+            let req = LgRequest::StreamPoll {
+                session: state.session(),
+                after: state.cursor(),
+            };
+            let resp = self.request_with_retry(transport, &req, clock, &mut report)?;
+            let LgResponse::StreamEvents {
+                session,
+                frames,
+                backlog,
+                resync,
+            } = resp
+            else {
+                return Err(LgError::Transport("stream: wrong response type".into()));
+            };
+            if resync && state.session() != 0 {
+                // the server reset the monitoring session and is replaying
+                // the feed; dedup (by original seq) absorbs the replay
+                state.note_resync();
+            }
+            state.session = session;
+            report.frames += frames.len() as u64;
+            for frame in &frames {
+                state.ingest(frame, self.config.dedup_replays);
+            }
+            if backlog == 0 {
+                break;
+            }
+        }
+        report.duration_ms = clock.now_ms().saturating_sub(start_ms);
+        let after = state.stats();
+        let m = metrics::handles();
+        m.updates.add(after.applied - before.applied);
+        m.dupes_dropped
+            .add(after.dupes_dropped - before.dupes_dropped);
+        m.synth_withdraws
+            .add(after.synth_withdraws - before.synth_withdraws);
+        m.resyncs.add(after.resyncs - before.resyncs);
+        report.applied = after.applied - before.applied;
+        report.resyncs = after.resyncs - before.resyncs;
+        Ok(report)
+    }
+
+    fn request_with_retry<T: LgTransport>(
+        &self,
+        transport: &mut T,
+        req: &LgRequest,
+        clock: &dyn Clock,
+        report: &mut DrainReport,
+    ) -> Result<LgResponse, LgError> {
+        let m = metrics::handles();
+        let mut last_err = LgError::ServerError;
+        for _attempt in 0..=self.config.max_retries {
+            clock.sleep_ms(self.config.poll_interval_ms);
+            report.polls += 1;
+            m.polls.inc();
+            match transport.request(req, clock.now_ms()) {
+                Ok(resp) => return Ok(resp),
+                Err(e @ (LgError::RateLimited | LgError::ServerError | LgError::Transport(_))) => {
+                    report.failures += 1;
+                    clock.sleep_ms(self.config.retry_backoff_ms);
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+}

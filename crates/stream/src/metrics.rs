@@ -1,0 +1,36 @@
+//! Stream-collector telemetry. The state store itself records nothing —
+//! the event path stays allocation- and registry-free — so the collector
+//! mirrors [`crate::state::StreamStats`] deltas onto these handles after
+//! each drain. Handles are minted once from [`obs::global()`] with names
+//! from the `obs::names` registry only.
+
+use std::sync::OnceLock;
+
+use obs::{names, Counter};
+
+pub(crate) struct StreamMetrics {
+    /// Update events applied to the state store (post-dedup).
+    pub updates: Counter,
+    /// Monitoring-session resyncs the collector performed.
+    pub resyncs: Counter,
+    /// Withdraws synthesized on peer-down events.
+    pub synth_withdraws: Counter,
+    /// Replayed frames skipped by sequence-number dedup.
+    pub dupes_dropped: Counter,
+    /// Poll requests issued (retries included).
+    pub polls: Counter,
+}
+
+pub(crate) fn handles() -> &'static StreamMetrics {
+    static HANDLES: OnceLock<StreamMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = obs::global();
+        StreamMetrics {
+            updates: registry.counter(names::STREAM_UPDATES),
+            resyncs: registry.counter(names::STREAM_RESYNCS),
+            synth_withdraws: registry.counter(names::STREAM_SYNTH_WITHDRAWS),
+            dupes_dropped: registry.counter(names::STREAM_DUPES_DROPPED),
+            polls: registry.counter(names::STREAM_POLLS),
+        }
+    })
+}

@@ -1,0 +1,255 @@
+//! The incremental state store.
+//!
+//! Conceptually keyed by `(router, peer, prefix)` — implemented as a
+//! [`BTreeMap`] of routers, each holding a `BTreeMap<Asn, BTreeMap<Prefix,
+//! Route>>`, so every iteration order is deterministic and matches the
+//! polled collector's output (members in ASN order, each member's routes
+//! in prefix order). Two BMP-style obligations live here:
+//!
+//! - **replay dedup**: the feed's sequence numbers are global and dense,
+//!   so after a monitoring-session reset the server's replay re-delivers
+//!   frames the store has already applied; [`RouterState::ingest`] skips
+//!   any frame at or below its applied high-water mark (disable only to
+//!   demonstrate the corruption — the chaos update-conservation oracle
+//!   catches it);
+//! - **synthesized withdraws**: a `PeerDown` event removes the peer's
+//!   whole table, counting one synthesized withdraw per removed route —
+//!   the stream analogue of the poll path simply not listing a departed
+//!   member.
+
+use std::collections::BTreeMap;
+
+use bgp_model::asn::Asn;
+use bgp_model::prefix::{Afi, Prefix};
+use bgp_model::route::Route;
+use community_dict::ixp::IxpId;
+use looking_glass::api::StreamFrame;
+use looking_glass::snapshot::Snapshot;
+use route_server::events::RibEvent;
+
+/// A member's session state as observed on the feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerSession {
+    /// IPv4 session present.
+    pub ipv4: bool,
+    /// IPv6 session present.
+    pub ipv6: bool,
+}
+
+impl PeerSession {
+    /// Session presence for one family.
+    pub fn has(&self, afi: Afi) -> bool {
+        match afi {
+            Afi::Ipv4 => self.ipv4,
+            Afi::Ipv6 => self.ipv6,
+        }
+    }
+}
+
+/// Monotonic per-router stream accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events applied to the store (post-dedup).
+    pub applied: u64,
+    /// Replayed frames skipped by sequence-number dedup.
+    pub dupes_dropped: u64,
+    /// Session resyncs observed (reset + replay).
+    pub resyncs: u64,
+    /// Withdraws synthesized by peer-down events.
+    pub synth_withdraws: u64,
+}
+
+impl StreamStats {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &StreamStats) {
+        self.applied += other.applied;
+        self.dupes_dropped += other.dupes_dropped;
+        self.resyncs += other.resyncs;
+        self.synth_withdraws += other.synth_withdraws;
+    }
+}
+
+/// The live state of one monitored route server.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    ixp: IxpId,
+    /// Session generation last confirmed by the server (0 = never polled).
+    pub(crate) session: u64,
+    /// Applied high-water mark: the largest frame seq ever ingested, which
+    /// doubles as the poll cursor (the feed is served contiguously).
+    pub(crate) cursor: u64,
+    peers: BTreeMap<Asn, PeerSession>,
+    routes: BTreeMap<Asn, BTreeMap<Prefix, Route>>,
+    stats: StreamStats,
+}
+
+impl RouterState {
+    /// Empty state for one router.
+    pub fn new(ixp: IxpId) -> Self {
+        RouterState {
+            ixp,
+            session: 0,
+            cursor: 0,
+            peers: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The router's IXP.
+    pub fn ixp(&self) -> IxpId {
+        self.ixp
+    }
+
+    /// The session generation last seen from the server.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The applied/poll high-water mark.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Stream accounting so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Count one observed session resync.
+    pub fn note_resync(&mut self) {
+        self.stats.resyncs += 1;
+    }
+
+    /// Ingest one frame. With `dedup` on (the defended default), a frame
+    /// at or below the applied high-water mark is a replayed duplicate
+    /// and is skipped; returns whether the event was applied.
+    pub fn ingest(&mut self, frame: &StreamFrame, dedup: bool) -> bool {
+        if dedup && frame.seq <= self.cursor {
+            self.stats.dupes_dropped += 1;
+            return false;
+        }
+        self.cursor = self.cursor.max(frame.seq);
+        self.apply(&frame.event);
+        true
+    }
+
+    /// Apply one event unconditionally (the raw event path; dedup and
+    /// cursor bookkeeping are [`RouterState::ingest`]'s job).
+    pub fn apply(&mut self, event: &RibEvent) {
+        self.stats.applied += 1;
+        match event {
+            RibEvent::PeerUp { peer, ipv4, ipv6 } => {
+                self.peers.insert(
+                    *peer,
+                    PeerSession {
+                        ipv4: *ipv4,
+                        ipv6: *ipv6,
+                    },
+                );
+            }
+            RibEvent::PeerDown { peer } => {
+                self.peers.remove(peer);
+                let removed = self.routes.remove(peer).map(|t| t.len()).unwrap_or(0);
+                self.stats.synth_withdraws += removed as u64;
+            }
+            RibEvent::Announce { peer, route } => {
+                self.routes
+                    .entry(*peer)
+                    .or_default()
+                    .insert(route.prefix, route.clone());
+            }
+            RibEvent::Withdraw { peer, prefix } => {
+                if let Some(table) = self.routes.get_mut(peer) {
+                    table.remove(prefix);
+                }
+            }
+        }
+    }
+
+    /// Members with a session for `afi`, in ASN order.
+    pub fn members_for(&self, afi: Afi) -> impl Iterator<Item = Asn> + '_ {
+        self.peers
+            .iter()
+            .filter(move |(_, s)| s.has(afi))
+            .map(|(asn, _)| *asn)
+    }
+
+    /// Routes currently held, across peers and families.
+    pub fn route_count(&self) -> usize {
+        self.routes.values().map(BTreeMap::len).sum()
+    }
+
+    /// Members currently up (any family).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Synthesize the end-of-day snapshot for one family: exactly what
+    /// the polled collector assembles from a clean collection — members
+    /// in ASN order, routes grouped per announcing member in prefix
+    /// order, `partial = false` and no failed peers (a drained feed has
+    /// no notion of an unreachable peer).
+    pub fn to_snapshot(&self, afi: Afi, day: u32) -> Snapshot {
+        let members: Vec<Asn> = self.members_for(afi).collect();
+        let mut routes: Vec<(Asn, Route)> = Vec::new();
+        for &asn in &members {
+            if let Some(table) = self.routes.get(&asn) {
+                routes.extend(
+                    table
+                        .values()
+                        .filter(|r| r.afi() == afi)
+                        .map(|r| (asn, r.clone())),
+                );
+            }
+        }
+        Snapshot {
+            ixp: self.ixp,
+            day,
+            afi,
+            members,
+            routes,
+            partial: false,
+            failed_peers: Vec::new(),
+        }
+    }
+}
+
+/// The collector-side store: one [`RouterState`] per monitored router.
+#[derive(Debug, Clone, Default)]
+pub struct StateStore {
+    routers: BTreeMap<IxpId, RouterState>,
+}
+
+impl StateStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        StateStore::default()
+    }
+
+    /// The state for one router, created empty on first access.
+    pub fn router(&mut self, ixp: IxpId) -> &mut RouterState {
+        self.routers
+            .entry(ixp)
+            .or_insert_with(|| RouterState::new(ixp))
+    }
+
+    /// The state for one router, if it has ever been polled.
+    pub fn get(&self, ixp: IxpId) -> Option<&RouterState> {
+        self.routers.get(&ixp)
+    }
+
+    /// All router states, in IXP order.
+    pub fn routers(&self) -> impl Iterator<Item = &RouterState> {
+        self.routers.values()
+    }
+
+    /// Accounting summed over every router.
+    pub fn stats(&self) -> StreamStats {
+        let mut total = StreamStats::default();
+        for r in self.routers.values() {
+            total.add(&r.stats());
+        }
+        total
+    }
+}

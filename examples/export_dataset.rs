@@ -26,6 +26,7 @@ fn main() {
         ixps: IxpId::ALL.to_vec(),
         failures: FailureModel::NONE,
         day: 83,
+        mode: ixp_sim::timeline::CollectionMode::Snapshot,
     });
 
     println!("exporting dataset to {}", out_dir.display());

@@ -18,6 +18,7 @@ fn main() {
         ixps: IxpId::ALL.to_vec(),
         failures: FailureModel::NONE,
         day: 83,
+        mode: ixp_sim::timeline::CollectionMode::Snapshot,
     };
     println!("building all eight IXPs (scale {})...", config.world.scale);
     let scenario = ixp_sim::scenario::run(&config);

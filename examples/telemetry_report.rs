@@ -33,6 +33,7 @@ fn main() {
         ixps: vec![IxpId::DeCixFra, IxpId::Linx],
         failures: looking_glass::server::FailureModel::FLAKY,
         day: 83,
+        mode: ixp_sim::timeline::CollectionMode::Snapshot,
     };
     let scenario = scenario::run(&config);
     println!(

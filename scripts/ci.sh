@@ -42,6 +42,23 @@ if [[ "$fast" -eq 0 ]]; then
     CHAOS_SEEDS="${CHAOS_SEEDS:-32}" PAR_THREADS=4 cargo test -q -p chaos --release
 fi
 
+# Streamed/snapshot equivalence oracle. The debug workspace test run
+# above already executes tests/stream_equivalence.rs once; this stage
+# re-runs it on the release build (the 84-day dual campaign is the
+# heaviest single test) and then drives the release `repro stream`
+# subcommand end-to-end: the BMP-style feed's end-of-day state must
+# fingerprint byte-identically to the fault-free polled reference on
+# every day, under a seed-derived fault plan, at PAR_THREADS=1 and 4
+# (the test pins both pool sizes itself). Divergence dumps land under
+# target/stream-divergence/. The chaos corpus stage above also runs the
+# stream dual campaign per seed, so the 32-seed sweep covers this path.
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> stream equivalence (84-day chaotic dual campaign, release)"
+    cargo test -q --release --test stream_equivalence
+    echo "==> repro stream (dual campaign, stream.* metrics)"
+    STREAM_DAYS="${STREAM_DAYS:-12}" target/release/repro stream >/dev/null
+fi
+
 # Bench-regression gate, smoke flavor: tiny measuring windows and few
 # iterations (BENCH_SMOKE=1), with correspondingly wide tolerance bands —
 # catches 2x-class regressions against the committed BENCH_5.json in

@@ -42,6 +42,7 @@ fn artifacts() -> (Vec<u64>, String, String) {
         ixps: ixps.to_vec(),
         failures: FailureModel::NONE,
         day: 83,
+        mode: ixp_sim::timeline::CollectionMode::Snapshot,
     };
     let run = scenario::run(&config);
     let mut dataset = String::new();

@@ -18,6 +18,7 @@ fn scenario() -> &'static Scenario {
             ixps: IxpId::BIG_FOUR.to_vec(),
             failures: FailureModel::NONE,
             day: 83,
+            mode: ixp_sim::timeline::CollectionMode::Snapshot,
         })
     })
 }

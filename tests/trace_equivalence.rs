@@ -33,6 +33,7 @@ fn trace_digest() -> String {
         ixps: ixps.to_vec(),
         failures: FailureModel::NONE,
         day: 83,
+        mode: ixp_sim::timeline::CollectionMode::Snapshot,
     };
     let run = scenario::run(&config);
     let dicts: Vec<_> = ixps
