@@ -29,6 +29,24 @@ pub struct Table2 {
 }
 
 impl Table2 {
+    /// Derive the table from accumulated per-group AS counts. Groups
+    /// with zero users must be absent (the batch scan only ever creates
+    /// an entry on occurrence) — the filter here keeps the incremental
+    /// path's serialization identical.
+    pub fn from_counts(
+        ixp: IxpId,
+        afi: Afi,
+        members_at_rs: usize,
+        ases_per_group: BTreeMap<ActionGroup, usize>,
+    ) -> Self {
+        Table2 {
+            ixp,
+            afi,
+            members_at_rs,
+            ases_per_group: ases_per_group.into_iter().filter(|(_, n)| *n > 0).collect(),
+        }
+    }
+
     /// AS count for one group.
     pub fn count(&self, group: ActionGroup) -> usize {
         self.ases_per_group.get(&group).copied().unwrap_or(0)
@@ -46,12 +64,12 @@ pub fn table2(view: &View<'_>) -> Table2 {
     for (asn, _, _, action) in view.action_instances() {
         users.entry(action.kind.group()).or_default().insert(asn);
     }
-    Table2 {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        members_at_rs: view.member_count(),
-        ases_per_group: users.into_iter().map(|(g, s)| (g, s.len())).collect(),
-    }
+    Table2::from_counts(
+        view.snap.ixp,
+        view.snap.afi,
+        view.member_count(),
+        users.into_iter().map(|(g, s)| (g, s.len())).collect(),
+    )
 }
 
 /// §5.3 "Number of action communities per type": instance counts.
@@ -68,6 +86,20 @@ pub struct TypeCounts {
 }
 
 impl TypeCounts {
+    /// Derive the counts from accumulated per-group instance totals,
+    /// filtering zero-count groups exactly like the batch scan (which
+    /// only creates entries on occurrence).
+    pub fn from_counts(ixp: IxpId, afi: Afi, per_group: BTreeMap<ActionGroup, u64>) -> Self {
+        let per_group: BTreeMap<ActionGroup, u64> =
+            per_group.into_iter().filter(|(_, n)| *n > 0).collect();
+        TypeCounts {
+            ixp,
+            afi,
+            total: per_group.values().sum(),
+            per_group,
+        }
+    }
+
     /// Instance count for one group.
     pub fn count(&self, group: ActionGroup) -> u64 {
         self.per_group.get(&group).copied().unwrap_or(0)
@@ -84,17 +116,10 @@ impl TypeCounts {
 /// Compute the §5.3 per-type instance counts.
 pub fn type_counts(view: &View<'_>) -> TypeCounts {
     let mut per_group: BTreeMap<ActionGroup, u64> = BTreeMap::new();
-    let mut total = 0u64;
     for (_, _, _, action) in view.action_instances() {
         *per_group.entry(action.kind.group()).or_insert(0) += 1;
-        total += 1;
     }
-    TypeCounts {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total,
-        per_group,
-    }
+    TypeCounts::from_counts(view.snap.ixp, view.snap.afi, per_group)
 }
 
 #[cfg(test)]

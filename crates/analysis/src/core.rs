@@ -3,9 +3,10 @@
 use std::collections::BTreeSet;
 
 use bgp_model::asn::Asn;
-use bgp_model::community::StandardCommunity;
+use bgp_model::community::{Community, StandardCommunity};
 use bgp_model::route::Route;
 use community_dict::action::Action;
+use community_dict::classify::{classify_extended, classify_large};
 use community_dict::dictionary::Dictionary;
 use community_dict::semantics::{Classification, Semantics};
 use looking_glass::snapshot::Snapshot;
@@ -57,6 +58,19 @@ impl<'a> View<'a> {
         match self.table.binary_search_by_key(&c.0, |&(v, _)| v) {
             Ok(i) => self.table[i].1,
             Err(_) => self.dict.classify(c),
+        }
+    }
+
+    /// Classify any community type: standard values go through the
+    /// precomputed ID-indexed table, large and extended through the
+    /// rule-based schemes (already O(1) — no dictionary scan exists for
+    /// them to amortize). Figures 1–2 use this instead of re-deriving
+    /// every instance against the dictionary.
+    pub fn classify_full(&self, c: &Community) -> Classification {
+        match c {
+            Community::Standard(sc) => self.classify(*sc),
+            Community::Large(lc) => classify_large(self.dict.ixp(), *lc),
+            Community::Extended(ec) => classify_extended(self.dict.ixp(), *ec),
         }
     }
 

@@ -51,7 +51,7 @@ pub fn fig4a(view: &View<'_>) -> Fig4a {
         let has_action = route
             .standard_communities
             .iter()
-            .any(|c| view.dict.classify(*c).action().is_some());
+            .any(|c| view.classify(*c).action().is_some());
         if has_action {
             users.insert(asn);
             tagged_routes += 1;
@@ -83,6 +83,28 @@ pub struct Fig4b {
 }
 
 impl Fig4b {
+    /// Derive the figure from accumulated per-AS action-instance counts —
+    /// the single ranking path shared by the batch scan and the
+    /// incremental engine (identical sort and tie-break, so identical
+    /// bytes).
+    pub fn from_per_as(
+        ixp: IxpId,
+        afi: Afi,
+        per_as: BTreeMap<Asn, u64>,
+        members_at_rs: usize,
+    ) -> Self {
+        let total: u64 = per_as.values().sum();
+        let mut per_as_desc: Vec<(Asn, u64)> = per_as.into_iter().collect();
+        per_as_desc.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Fig4b {
+            ixp,
+            afi,
+            total_instances: total,
+            per_as_desc,
+            members_at_rs,
+        }
+    }
+
     /// Share of all action instances held by the top `fraction` of RS
     /// members (paper: top 1% hold 50–60% at the European IXPs, 86% at
     /// IX.br-SP).
@@ -111,20 +133,10 @@ impl Fig4b {
 /// Compute Fig. 4b.
 pub fn fig4b(view: &View<'_>) -> Fig4b {
     let mut per_as: BTreeMap<Asn, u64> = BTreeMap::new();
-    let mut total = 0u64;
     for (asn, _, _, _) in view.action_instances() {
         *per_as.entry(asn).or_insert(0) += 1;
-        total += 1;
     }
-    let mut per_as_desc: Vec<(Asn, u64)> = per_as.into_iter().collect();
-    per_as_desc.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    Fig4b {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total_instances: total,
-        per_as_desc,
-        members_at_rs: view.member_count(),
-    }
+    Fig4b::from_per_as(view.snap.ixp, view.snap.afi, per_as, view.member_count())
 }
 
 /// Fig. 4c result: one point per AS.
@@ -191,36 +203,45 @@ impl Fig4c {
     }
 }
 
+impl Fig4c {
+    /// Derive the figure from accumulated per-AS route and
+    /// action-instance counts (shared by the batch scan and the
+    /// incremental engine; the float divisions happen here and only
+    /// here, so both paths produce bit-identical points).
+    pub fn from_counts(
+        ixp: IxpId,
+        afi: Afi,
+        routes: &BTreeMap<Asn, u64>,
+        comm: &BTreeMap<Asn, u64>,
+    ) -> Self {
+        let total_routes: u64 = routes.values().sum();
+        let total_comm: u64 = comm.values().sum();
+        let points = routes
+            .iter()
+            .map(|(asn, r)| {
+                let c = comm.get(asn).copied().unwrap_or(0);
+                (
+                    *asn,
+                    c as f64 / total_comm.max(1) as f64,
+                    *r as f64 / total_routes.max(1) as f64,
+                )
+            })
+            .collect();
+        Fig4c { ixp, afi, points }
+    }
+}
+
 /// Compute Fig. 4c.
 pub fn fig4c(view: &View<'_>) -> Fig4c {
     let mut comm: BTreeMap<Asn, u64> = BTreeMap::new();
     let mut routes: BTreeMap<Asn, u64> = BTreeMap::new();
-    let mut total_comm = 0u64;
-    let mut total_routes = 0u64;
     for (asn, _) in view.routes() {
         *routes.entry(asn).or_insert(0) += 1;
-        total_routes += 1;
     }
     for (asn, _, _, _) in view.action_instances() {
         *comm.entry(asn).or_insert(0) += 1;
-        total_comm += 1;
     }
-    let points = routes
-        .iter()
-        .map(|(asn, r)| {
-            let c = comm.get(asn).copied().unwrap_or(0);
-            (
-                *asn,
-                c as f64 / total_comm.max(1) as f64,
-                *r as f64 / total_routes.max(1) as f64,
-            )
-        })
-        .collect();
-    Fig4c {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        points,
-    }
+    Fig4c::from_counts(view.snap.ixp, view.snap.afi, &routes, &comm)
 }
 
 #[cfg(test)]

@@ -8,7 +8,6 @@ use serde::{Deserialize, Serialize};
 
 use bgp_model::community::CommunityType;
 use bgp_model::prefix::Afi;
-use community_dict::classify::classify_community;
 use community_dict::ixp::IxpId;
 use community_dict::semantics::{Classification, Semantics};
 
@@ -30,6 +29,19 @@ pub struct Fig1 {
 }
 
 impl Fig1 {
+    /// Derive the figure from accumulated counts — the single
+    /// construction path shared by the batch scan and the incremental
+    /// engine, so both produce identical structs by construction.
+    pub fn from_counts(ixp: IxpId, afi: Afi, ixp_defined: u64, unknown: u64) -> Self {
+        Fig1 {
+            ixp,
+            afi,
+            total: ixp_defined + unknown,
+            ixp_defined,
+            unknown,
+        }
+    }
+
     /// Percentage defined (the paper's ">80%" headline).
     pub fn defined_pct(&self) -> f64 {
         pct(self.ixp_defined, self.total)
@@ -47,19 +59,13 @@ pub fn fig1(view: &View<'_>) -> Fig1 {
     let mut unknown = 0u64;
     for (_, route) in view.routes() {
         for c in route.communities() {
-            match classify_community(view.dict, &c) {
+            match view.classify_full(&c) {
                 Classification::IxpDefined(_) => defined += 1,
                 Classification::Unknown => unknown += 1,
             }
         }
     }
-    Fig1 {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total: defined + unknown,
-        ixp_defined: defined,
-        unknown,
-    }
+    Fig1::from_counts(view.snap.ixp, view.snap.afi, defined, unknown)
 }
 
 /// Fig. 2 result: IXP-defined instances by structural type.
@@ -80,6 +86,19 @@ pub struct Fig2 {
 }
 
 impl Fig2 {
+    /// Derive the figure from accumulated per-type defined counts
+    /// (shared by the batch scan and the incremental engine).
+    pub fn from_counts(ixp: IxpId, afi: Afi, standard: u64, extended: u64, large: u64) -> Self {
+        Fig2 {
+            ixp,
+            afi,
+            total_defined: standard + extended + large,
+            standard,
+            extended,
+            large,
+        }
+    }
+
     /// Percentage standard (the paper: consistently >80%).
     pub fn standard_pct(&self) -> f64 {
         pct(self.standard, self.total_defined)
@@ -98,27 +117,19 @@ impl Fig2 {
 
 /// Compute Fig. 2 for one view.
 pub fn fig2(view: &View<'_>) -> Fig2 {
-    let mut out = Fig2 {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total_defined: 0,
-        standard: 0,
-        extended: 0,
-        large: 0,
-    };
+    let (mut standard, mut extended, mut large) = (0u64, 0u64, 0u64);
     for (_, route) in view.routes() {
         for c in route.communities() {
-            if classify_community(view.dict, &c).is_ixp_defined() {
-                out.total_defined += 1;
+            if view.classify_full(&c).is_ixp_defined() {
                 match c.community_type() {
-                    CommunityType::Standard => out.standard += 1,
-                    CommunityType::Extended => out.extended += 1,
-                    CommunityType::Large => out.large += 1,
+                    CommunityType::Standard => standard += 1,
+                    CommunityType::Extended => extended += 1,
+                    CommunityType::Large => large += 1,
                 }
             }
         }
     }
-    out
+    Fig2::from_counts(view.snap.ixp, view.snap.afi, standard, extended, large)
 }
 
 /// Fig. 3 result: standard IXP-defined split into action/informational.
@@ -137,6 +148,18 @@ pub struct Fig3 {
 }
 
 impl Fig3 {
+    /// Derive the figure from accumulated action/informational counts
+    /// (shared by the batch scan and the incremental engine).
+    pub fn from_counts(ixp: IxpId, afi: Afi, action: u64, informational: u64) -> Self {
+        Fig3 {
+            ixp,
+            afi,
+            total: action + informational,
+            action,
+            informational,
+        }
+    }
+
     /// Percentage action — the paper's "at least 66.6%".
     pub fn action_pct(&self) -> f64 {
         pct(self.action, self.total)
@@ -159,13 +182,7 @@ pub fn fig3(view: &View<'_>) -> Fig3 {
             Classification::Unknown => {}
         }
     }
-    Fig3 {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total: action + info,
-        action,
-        informational: info,
-    }
+    Fig3::from_counts(view.snap.ixp, view.snap.afi, action, info)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod actions;
 pub mod core;
 pub mod fig4;
 pub mod figs_overview;
+pub mod incremental;
 pub mod overlap;
 pub mod report;
 pub mod summary;
@@ -42,6 +43,7 @@ pub mod prelude {
     pub use crate::core::{pct, View};
     pub use crate::fig4::{fig4a, fig4b, fig4c, Fig4a, Fig4b, Fig4c};
     pub use crate::figs_overview::{fig1, fig2, fig3, Fig1, Fig2, Fig3};
+    pub use crate::incremental::{IncrementalReport, IxpEngine};
     pub use crate::overlap::{target_overlap, TargetOverlap};
     pub use crate::report::{human_count, pct1, TextTable};
     pub use crate::summary::{full_report, FullReport, SnapshotReport};

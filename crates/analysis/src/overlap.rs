@@ -18,7 +18,7 @@ use community_dict::ixp::IxpId;
 use community_dict::known;
 
 use crate::core::View;
-use crate::tops::fig5;
+use crate::tops::{fig5, TopCommunities};
 
 /// The avoided-AS sets behind each IXP's top-20 communities.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,22 +62,31 @@ impl TargetOverlap {
     }
 }
 
-/// Compute the overlap across a set of views (one per IXP, same family).
-pub fn target_overlap(views: &[View<'_>]) -> TargetOverlap {
-    let afi = views.first().map(|v| v.snap.afi).unwrap_or(Afi::Ipv4);
-    let per_ixp = views
+/// Compute the overlap from already-ranked Fig. 5 results (one per IXP,
+/// same family) — the zero-recompute path [`crate::summary::full_report`]
+/// and the incremental engine use, since both have the per-IXP top-20 in
+/// hand by the time the overlap is needed.
+pub fn target_overlap_from_tops(tops: &[&TopCommunities]) -> TargetOverlap {
+    let afi = tops.first().map(|t| t.afi).unwrap_or(Afi::Ipv4);
+    let per_ixp = tops
         .iter()
-        .map(|view| {
-            let targets: BTreeSet<Asn> = fig5(view)
+        .map(|top20| {
+            let targets: BTreeSet<Asn> = top20
                 .top
                 .iter()
                 .filter(|r| r.action.kind.group() == ActionGroup::DoNotAnnounceTo)
                 .filter_map(|r| r.action.target.peer_asn())
                 .collect();
-            (view.snap.ixp, targets)
+            (top20.ixp, targets)
         })
         .collect();
     TargetOverlap { afi, per_ixp }
+}
+
+/// Compute the overlap across a set of views (one per IXP, same family).
+pub fn target_overlap(views: &[View<'_>]) -> TargetOverlap {
+    let tops: Vec<TopCommunities> = views.iter().map(fig5).collect();
+    target_overlap_from_tops(&tops.iter().collect::<Vec<_>>())
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use crate::actions::{table2, type_counts, Table2, TypeCounts};
 use crate::core::View;
 use crate::fig4::{fig4a, fig4b, fig4c, Fig4a};
 use crate::figs_overview::{fig1, fig2, fig3, Fig1, Fig2, Fig3};
-use crate::overlap::{target_overlap, TargetOverlap};
+use crate::overlap::{target_overlap_from_tops, TargetOverlap};
 use crate::tops::{fig5, fig6, fig7, ineffective, Fig7, Ineffective, TopCommunities};
 
 /// Everything computed for one (IXP, family) snapshot.
@@ -105,24 +105,18 @@ pub fn full_report(store: &SnapshotStore, dicts: &[(IxpId, Dictionary)]) -> Full
             fig7: fig7(&view, 10),
         })
     });
-    let mut v4_views: Vec<(IxpId, Afi, u32)> = Vec::new();
-    for snapshot in computed.into_iter().flatten() {
-        if snapshot.afi == Afi::Ipv4 {
-            v4_views.push((snapshot.ixp, snapshot.afi, snapshot.day));
-        }
-        report.snapshots.push(snapshot);
-    }
-    // overlap needs simultaneous borrows; rebuild the views
-    let views: Vec<View<'_>> = v4_views
+    report.snapshots.extend(computed.into_iter().flatten());
+    // §5.4 overlap: reuse the Fig. 5 rankings already computed per unit
+    // instead of rebuilding every IPv4 view (and its classification
+    // memo) a second time.
+    let v4_tops: Vec<&crate::tops::TopCommunities> = report
+        .snapshots
         .iter()
-        .filter_map(|(ixp, afi, day)| {
-            let snap = store.get(*ixp, *afi, *day)?;
-            let dict = &dicts.iter().find(|(i, _)| i == ixp)?.1;
-            Some(View::new(snap, dict))
-        })
+        .filter(|s| s.afi == Afi::Ipv4)
+        .map(|s| &s.fig5)
         .collect();
-    if views.len() >= 2 {
-        report.overlap_v4 = Some(target_overlap(&views));
+    if v4_tops.len() >= 2 {
+        report.overlap_v4 = Some(target_overlap_from_tops(&v4_tops));
     }
     report
 }

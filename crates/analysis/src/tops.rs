@@ -48,56 +48,72 @@ pub struct TopCommunities {
     pub top: Vec<RankedCommunity>,
 }
 
+impl TopCommunities {
+    /// Rank accumulated per-community counts — the single ranking and
+    /// labelling path shared by the batch scan and the incremental
+    /// engine. `counts` holds only the in-scope communities (already
+    /// filtered for Fig. 6); `total_all` is the count of *all* action
+    /// instances, the paper's share denominator for both figures.
+    pub fn from_counts(
+        ixp: IxpId,
+        afi: Afi,
+        counts: BTreeMap<StandardCommunity, (Action, u64)>,
+        total_all: u64,
+        limit: usize,
+    ) -> Self {
+        let total_scope: u64 = counts.values().map(|(_, n)| n).sum();
+        let mut ranked: Vec<(StandardCommunity, Action, u64)> =
+            counts.into_iter().map(|(c, (a, n))| (c, a, n)).collect();
+        ranked.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        ranked.truncate(limit);
+        let top = ranked
+            .into_iter()
+            .map(|(community, action, count)| {
+                let target_name = action
+                    .target
+                    .peer_asn()
+                    .map(known::name_of)
+                    .unwrap_or_else(|| action.target.to_string());
+                let verb = match action.kind.group() {
+                    ActionGroup::DoNotAnnounceTo => "do not announce to",
+                    ActionGroup::AnnounceOnlyTo => "announce only to",
+                    ActionGroup::PrependTo => "prepend to",
+                    ActionGroup::Blackhole => "blackhole",
+                };
+                RankedCommunity {
+                    community,
+                    action,
+                    count,
+                    // Fig. 5's shares are relative to ALL action instances
+                    share_pct: pct(count, total_all),
+                    label: if action.kind.group() == ActionGroup::Blackhole {
+                        verb.to_string()
+                    } else {
+                        format!("{verb} {target_name}")
+                    },
+                }
+            })
+            .collect();
+        TopCommunities {
+            ixp,
+            afi,
+            total_in_scope: total_scope,
+            top,
+        }
+    }
+}
+
 fn rank_communities(view: &View<'_>, limit: usize, only_nonmember_targets: bool) -> TopCommunities {
     let mut counts: BTreeMap<StandardCommunity, (Action, u64)> = BTreeMap::new();
     let mut total_all = 0u64;
-    let mut total_scope = 0u64;
     for (_, _, community, action) in view.action_instances() {
         total_all += 1;
         if only_nonmember_targets && !view.is_ineffective(&action) {
             continue;
         }
-        total_scope += 1;
         counts.entry(community).or_insert((action, 0)).1 += 1;
     }
-    let mut ranked: Vec<(StandardCommunity, Action, u64)> =
-        counts.into_iter().map(|(c, (a, n))| (c, a, n)).collect();
-    ranked.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
-    ranked.truncate(limit);
-    let top = ranked
-        .into_iter()
-        .map(|(community, action, count)| {
-            let target_name = action
-                .target
-                .peer_asn()
-                .map(known::name_of)
-                .unwrap_or_else(|| action.target.to_string());
-            let verb = match action.kind.group() {
-                ActionGroup::DoNotAnnounceTo => "do not announce to",
-                ActionGroup::AnnounceOnlyTo => "announce only to",
-                ActionGroup::PrependTo => "prepend to",
-                ActionGroup::Blackhole => "blackhole",
-            };
-            RankedCommunity {
-                community,
-                action,
-                count,
-                // Fig. 5's shares are relative to ALL action instances
-                share_pct: pct(count, total_all),
-                label: if action.kind.group() == ActionGroup::Blackhole {
-                    verb.to_string()
-                } else {
-                    format!("{verb} {target_name}")
-                },
-            }
-        })
-        .collect();
-    TopCommunities {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total_in_scope: total_scope,
-        top,
-    }
+    TopCommunities::from_counts(view.snap.ixp, view.snap.afi, counts, total_all, limit)
 }
 
 /// Fig. 5: the top-20 action communities.
@@ -185,33 +201,41 @@ pub struct Fig7 {
     pub top: Vec<Culprit>,
 }
 
+impl Fig7 {
+    /// Rank accumulated per-AS ineffective-instance counts (shared by
+    /// the batch scan and the incremental engine — one sort, one
+    /// labelling, one `pct`, identical bytes).
+    pub fn from_per_as(ixp: IxpId, afi: Afi, per_as: BTreeMap<Asn, u64>, limit: usize) -> Self {
+        let total: u64 = per_as.values().sum();
+        let mut ranked: Vec<(Asn, u64)> = per_as.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(limit);
+        Fig7 {
+            ixp,
+            afi,
+            total_ineffective: total,
+            top: ranked
+                .into_iter()
+                .map(|(asn, count)| Culprit {
+                    asn,
+                    name: known::name_of(asn),
+                    count,
+                    share_pct: pct(count, total),
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Compute Fig. 7 (top `limit` culprits).
 pub fn fig7(view: &View<'_>, limit: usize) -> Fig7 {
     let mut per_as: BTreeMap<Asn, u64> = BTreeMap::new();
-    let mut total = 0u64;
     for (asn, _, _, action) in view.action_instances() {
         if view.is_ineffective(&action) {
             *per_as.entry(asn).or_insert(0) += 1;
-            total += 1;
         }
     }
-    let mut ranked: Vec<(Asn, u64)> = per_as.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    ranked.truncate(limit);
-    Fig7 {
-        ixp: view.snap.ixp,
-        afi: view.snap.afi,
-        total_ineffective: total,
-        top: ranked
-            .into_iter()
-            .map(|(asn, count)| Culprit {
-                asn,
-                name: known::name_of(asn),
-                count,
-                share_pct: pct(count, total),
-            })
-            .collect(),
-    }
+    Fig7::from_per_as(view.snap.ixp, view.snap.afi, per_as, limit)
 }
 
 #[cfg(test)]

@@ -90,6 +90,7 @@ fn main() {
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut json_out: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut incremental = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -102,6 +103,7 @@ fn main() {
             "--trace" => {
                 trace_out = Some(std::path::PathBuf::from(it.next().expect("--trace FILE")))
             }
+            "--incremental" => incremental = true,
             "--help" | "-h" => {
                 println!(
                     "repro [--scale F] [--seed N] [--all-ixps] [--csv DIR] [--json FILE] \
@@ -112,7 +114,11 @@ fn main() {
                      corpus (CHAOS_SEEDS=N overrides the seed count)\n\
                      extra (not in `all`): stream — run the BMP-style dual campaign \
                      (streamed feed vs snapshot polls; STREAM_DAYS=N overrides the \
-                     day count) and print the stream metrics + equivalence verdict\n\
+                     day count, STREAM_SCALE=F the world scale) and print the stream \
+                     metrics + equivalence verdict\n\
+                     stream --incremental: additionally print per-day incremental \
+                     finalize vs batch recompute verdicts and timings; with \
+                     INCREMENTAL_MIN_SPEEDUP=X, exit nonzero below X-fold speedup\n\
                      --trace FILE: record the causal span trace and write it as Chrome \
                      trace_event JSON (open in Perfetto), plus a self-time table\n\
                      repro perf --check [--baseline F] [--current F] [--tolerance X]: \
@@ -258,7 +264,7 @@ fn main() {
             "sanitation" => run_sanitation(&ctx),
             "overlap" => run_overlap(&ctx),
             "chaos" => run_chaos(seed),
-            "stream" => run_stream(seed),
+            "stream" => run_stream(seed, incremental),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -1233,17 +1239,29 @@ fn run_chaos(master_seed: u64) {
 /// oracles. Prints the `stream.*` metrics the drain recorded and exits
 /// nonzero if any oracle fires. Not part of `all`: like chaos it
 /// validates the pipeline, not the paper's numbers.
-fn run_stream(master_seed: u64) {
+///
+/// With `--incremental`, additionally prints the per-day verdict and
+/// timing of the incremental report finalize (O(churn) path) against
+/// the batch recompute over the same end-of-day snapshot, and — when
+/// `INCREMENTAL_MIN_SPEEDUP=X` is set — exits nonzero if the aggregate
+/// speedup falls below `X`-fold (the CI gate).
+fn run_stream(master_seed: u64, incremental: bool) {
     use chaos::prelude::*;
 
     let days: u32 = std::env::var("STREAM_DAYS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
-    let cfg = CampaignConfig {
+    let mut cfg = CampaignConfig {
         days,
         ..CampaignConfig::default()
     };
+    if let Some(scale) = std::env::var("STREAM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        cfg.scale = scale;
+    }
     let plan = FaultPlan::from_seed(master_seed, cfg.days);
     println!(
         "stream: {days} day(s) over {:?} at scale {}, {} worker thread(s)",
@@ -1295,6 +1313,50 @@ fn run_stream(master_seed: u64) {
         outcome.days.len(),
         outcome.dataset_hash
     );
+
+    if incremental {
+        // fold the engine's delta count into the metric registry, then
+        // report the per-day O(churn) finalize against the O(world)
+        // batch recompute the campaign timed alongside it
+        registry
+            .counter(obs::names::ANALYSIS_INCREMENTAL_DELTAS)
+            .add(outcome.incremental_deltas);
+        println!(
+            "incremental: {} delta(s) consumed; per-day finalize vs batch recompute:",
+            outcome.incremental_deltas
+        );
+        let (mut inc_total, mut batch_total) = (0u64, 0u64);
+        for rec in &outcome.days {
+            inc_total += rec.incremental_ns;
+            batch_total += rec.batch_ns;
+            println!(
+                "  day {:>2}: {} — incremental {:>10} ns, batch {:>12} ns ({:.1}x)",
+                rec.day,
+                if rec.incremental_hash == rec.batch_hash {
+                    "reports identical"
+                } else {
+                    "reports DIVERGED "
+                },
+                rec.incremental_ns,
+                rec.batch_ns,
+                rec.batch_ns as f64 / rec.incremental_ns.max(1) as f64,
+            );
+        }
+        let speedup = batch_total as f64 / inc_total.max(1) as f64;
+        println!("  totals: incremental {inc_total} ns vs batch {batch_total} ns — {speedup:.1}x");
+        let min_speedup: f64 = std::env::var("INCREMENTAL_MIN_SPEEDUP")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
+        if speedup < min_speedup {
+            eprintln!(
+                "stream: incremental speedup {speedup:.1}x is below the required \
+                 {min_speedup:.0}x (scale {}, {days} day(s))",
+                cfg.scale
+            );
+            std::process::exit(1);
+        }
+    }
 
     let diverged = outcome
         .days

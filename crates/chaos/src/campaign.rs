@@ -309,6 +309,20 @@ pub struct StreamDayRecord {
     pub streamed_hash: u64,
     /// Fingerprint of the reference snapshot polled at the same point.
     pub reference_hash: u64,
+    /// Fingerprint of the day's report finalized by the incremental
+    /// engine (O(churn) path).
+    pub incremental_hash: u64,
+    /// Fingerprint of the day's report recomputed from scratch over the
+    /// streamed end-of-day snapshot (O(world) oracle path).
+    pub batch_hash: u64,
+    /// The two serialized reports, kept only when they disagree so a
+    /// failing test can dump the divergence.
+    pub report_divergence: Option<(String, String)>,
+    /// Wall-clock nanoseconds the incremental finalize took. Timing
+    /// only — never folded into a fingerprint or oracle verdict.
+    pub incremental_ns: u64,
+    /// Wall-clock nanoseconds the batch recompute took.
+    pub batch_ns: u64,
 }
 
 /// Everything a finished dual campaign exposes to the stream oracles.
@@ -323,6 +337,8 @@ pub struct StreamCampaignOutcome {
     pub stats: InjectStats,
     /// The stream collector's cumulative accounting.
     pub stream_stats: stream::state::StreamStats,
+    /// Store deltas the incremental report engine consumed.
+    pub incremental_deltas: u64,
     /// Frames the feed ever minted (replays re-serve, they do not mint).
     pub frames_minted: u64,
     /// Total logical time the campaign consumed.
@@ -366,6 +382,14 @@ pub fn run_stream_campaign(
             ..stream::collector::StreamConfig::default()
         });
     let mut state = stream::state::RouterState::new(cfg.ixp);
+    // the incremental report engine rides the delta feed; every day the
+    // batch report recomputed from the streamed snapshot serves as its
+    // correctness oracle (the IncrementalDivergence check)
+    let dicts = vec![(cfg.ixp, community_dict::schemes::dictionary(cfg.ixp))];
+    let mut inc = analysis::incremental::IncrementalReport::new(&dicts);
+    if plan.disable_retraction {
+        inc.set_retraction_enabled(false);
+    }
 
     let mut streamed = SnapshotStore::new();
     let mut reference = SnapshotStore::new();
@@ -407,7 +431,12 @@ pub fn run_stream_campaign(
             let mut transport =
                 ChaosTransport::new(&lg, &clock, plan, Arc::clone(&rs), day, seed, &mut stats);
             let snap = collector.collect_with_clock(&mut transport, cfg.afi, day, &clock);
-            let drain = stream_collector.drain_with_clock(&mut state, &mut transport, &clock);
+            let drain = stream_collector.drain_with_clock_into(
+                &mut state,
+                &mut transport,
+                &clock,
+                &mut inc,
+            );
             let churned = std::mem::take(&mut transport.churned_routes);
             let flap_dropped = std::mem::take(&mut transport.flap_dropped);
             (snap, drain, churned, flap_dropped)
@@ -440,7 +469,7 @@ pub fn run_stream_campaign(
         // the reference snapshot from the same server
         let final_drain = {
             let mut plain = &lg;
-            stream_collector.drain_with_clock(&mut state, &mut plain, &clock)
+            stream_collector.drain_with_clock_into(&mut state, &mut plain, &clock, &mut inc)
         };
         let drain_result = drain_result.and(final_drain).map(|_| ());
         let reference_result = {
@@ -450,6 +479,30 @@ pub fn run_stream_campaign(
 
         let streamed_snap = state.to_snapshot(cfg.afi, day);
         let streamed_hash = snapshot_fingerprint(&streamed_snap);
+
+        // incremental vs batch: finalize the engine's O(churn) report and
+        // recompute the same unit from scratch over the streamed snapshot,
+        // timing both paths (wall clock; never part of any fingerprint)
+        let timer = obs::global()
+            .histogram(obs::names::ANALYSIS_INCREMENTAL_DAY_NS)
+            .start();
+        let day_report = inc.report_units(&[(cfg.ixp, cfg.afi)], day);
+        let incremental_ns = timer.stop().as_nanos().min(u64::MAX as u128) as u64;
+        let mut day_store = SnapshotStore::new();
+        day_store.insert(streamed_snap.clone());
+        let timer = obs::global()
+            .histogram(obs::names::ANALYSIS_BATCH_DAY_NS)
+            .start();
+        let batch_report = analysis::summary::full_report(&day_store, &dicts);
+        let batch_ns = timer.stop().as_nanos().min(u64::MAX as u128) as u64;
+        let inc_json =
+            serde_json::to_string(&day_report).unwrap_or_else(|_| "<unserializable>".into());
+        let batch_json =
+            serde_json::to_string(&batch_report).unwrap_or_else(|_| "<unserializable>".into());
+        let incremental_hash = fnv1a(inc_json.as_bytes(), FNV_OFFSET);
+        let batch_hash = fnv1a(batch_json.as_bytes(), FNV_OFFSET);
+        let report_divergence = (incremental_hash != batch_hash).then_some((inc_json, batch_json));
+
         streamed.insert(streamed_snap);
         let (reference_result, reference_hash) = match reference_result {
             Ok(report) => {
@@ -468,6 +521,11 @@ pub fn run_stream_campaign(
             virtual_ms: clock.now_ms().saturating_sub(day_start),
             streamed_hash,
             reference_hash,
+            incremental_hash,
+            batch_hash,
+            report_divergence,
+            incremental_ns,
+            batch_ns,
         });
     }
 
@@ -484,6 +542,7 @@ pub fn run_stream_campaign(
         reference,
         stats,
         stream_stats: state.stats(),
+        incremental_deltas: inc.deltas_applied(),
         frames_minted: lg.stream_frames_minted(),
         virtual_ms,
         dataset_hash: hash,

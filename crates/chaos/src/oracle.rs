@@ -117,6 +117,18 @@ pub enum Violation {
         /// Frames the feed ever minted.
         minted: u64,
     },
+    /// The day's report finalized by the incremental engine (O(churn))
+    /// is not byte-identical to the batch report recomputed from scratch
+    /// over the streamed end-of-day snapshot (O(world)) — the
+    /// apply/retract/merge algebra lost or invented aggregate state.
+    IncrementalDivergence {
+        /// Day of the divergence.
+        day: u32,
+        /// Fingerprint of the incremental engine's report.
+        incremental: u64,
+        /// Fingerprint of the recomputed batch report.
+        batch: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -179,6 +191,14 @@ impl fmt::Display for Violation {
                     "stream conservation broken: {applied} events applied vs {minted} frames minted"
                 )
             }
+            Violation::IncrementalDivergence {
+                day,
+                incremental,
+                batch,
+            } => write!(
+                f,
+                "day {day}: incremental report diverged: {incremental:#018x} != batch {batch:#018x}"
+            ),
         }
     }
 }
@@ -450,6 +470,17 @@ pub fn check_stream_campaign(
                 day: rec.day,
                 streamed: rec.streamed_hash,
                 reference: rec.reference_hash,
+            });
+        }
+        // the incremental report must match the batch recompute of the
+        // very same streamed state — unconditionally: even when faults
+        // corrupted the store, the engine tracks the store, so any
+        // disagreement here is the engine's own algebra going wrong
+        if rec.incremental_hash != rec.batch_hash {
+            violations.push(Violation::IncrementalDivergence {
+                day: rec.day,
+                incremental: rec.incremental_hash,
+                batch: rec.batch_hash,
             });
         }
     }

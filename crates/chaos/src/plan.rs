@@ -129,6 +129,11 @@ pub struct FaultPlan {
     /// without sequence-number dedup, so a session reset double-applies
     /// the feed — the update-conservation oracle must catch it.
     pub replay_without_dedup: bool,
+    /// Fixture switch: the incremental report engine skips every
+    /// retraction (withdraws, replaced announces, peer-downs leave the
+    /// aggregates untouched), breaking the apply/retract inverse — the
+    /// incremental-divergence oracle must catch the drift.
+    pub disable_retraction: bool,
 }
 
 impl FaultPlan {

@@ -428,6 +428,37 @@ fn fixture_silently_lost_peer_down_diverges_the_stream() {
 }
 
 #[test]
+fn fixture_disabled_retraction_diverges_the_incremental_report() {
+    // with retraction disabled the incremental engine never subtracts a
+    // withdrawn (or replaced) route's contribution, so churn makes its
+    // aggregates drift above the batch recompute of the very same
+    // streamed state — the incremental-divergence oracle must catch it
+    let cfg = CampaignConfig::default();
+    let plan = FaultPlan {
+        churn_days: vec![1, 2, 3],
+        churn_events_per_day: 3,
+        disable_retraction: true,
+        ..FaultPlan::none()
+    };
+    let outcome = run_stream_campaign(0xDF, &plan, &cfg);
+    let v = check_stream_campaign(&outcome, &plan, &cfg);
+    assert_fires(
+        &v,
+        |v| matches!(v, Violation::IncrementalDivergence { .. }),
+        "IncrementalDivergence",
+    );
+    // the drift is one-directional and report-level only: the streamed
+    // *store* still matches the polled reference every day
+    for rec in &outcome.days {
+        assert_eq!(
+            rec.streamed_hash, rec.reference_hash,
+            "day {}: the store itself must stay equivalent",
+            rec.day
+        );
+    }
+}
+
+#[test]
 fn session_resets_are_absorbed_by_dedup() {
     // the defended pipeline: heavy reset pressure forces replays, but
     // sequence-number dedup keeps conservation and equivalence intact

@@ -186,6 +186,16 @@ pub const STREAM_DRAIN: &str = "stream.drain";
 pub const ANALYSIS_FULL_REPORT: &str = "analysis.full_report";
 /// Span: one (IXP, AFI) unit of the report fan-out.
 pub const ANALYSIS_REPORT_UNIT: &str = "analysis.report_unit";
+/// Span: finalize the incremental engine's aggregates into a report.
+pub const ANALYSIS_INCREMENTAL_REPORT: &str = "analysis.incremental.report";
+/// Deltas the incremental engine consumed from the stream store.
+pub const ANALYSIS_INCREMENTAL_DELTAS: &str = "analysis.incremental.deltas";
+/// Histogram: nanoseconds to advance the engine by one day of churn and
+/// finalize (recorded by `repro stream --incremental`).
+pub const ANALYSIS_INCREMENTAL_DAY_NS: &str = "analysis.incremental.day_ns";
+/// Histogram: nanoseconds for the batch `full_report` recompute of the
+/// same day (the comparison `repro stream --incremental` prints).
+pub const ANALYSIS_BATCH_DAY_NS: &str = "analysis.batch.day_ns";
 
 // --- repro binary ---
 
@@ -263,6 +273,10 @@ pub const ALL: &[&str] = &[
     PAR_TASK_NS,
     ANALYSIS_FULL_REPORT,
     ANALYSIS_REPORT_UNIT,
+    ANALYSIS_INCREMENTAL_REPORT,
+    ANALYSIS_INCREMENTAL_DELTAS,
+    ANALYSIS_INCREMENTAL_DAY_NS,
+    ANALYSIS_BATCH_DAY_NS,
     REPRO_BUILD_WORLD,
     REPRO_CHECK,
 ];

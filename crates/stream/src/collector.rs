@@ -94,6 +94,20 @@ impl StreamCollector {
         transport: &mut T,
         clock: &dyn Clock,
     ) -> Result<DrainReport, LgError> {
+        self.drain_with_clock_into(state, transport, clock, &mut ())
+    }
+
+    /// [`StreamCollector::drain_with_clock`], forwarding every applied
+    /// event's [`crate::state::RouteDelta`] to `consumer` — the hook an
+    /// incremental analysis attaches to so derived aggregates advance in
+    /// lockstep with the store.
+    pub fn drain_with_clock_into<T: LgTransport>(
+        &self,
+        state: &mut RouterState,
+        transport: &mut T,
+        clock: &dyn Clock,
+        consumer: &mut dyn crate::state::DeltaConsumer,
+    ) -> Result<DrainReport, LgError> {
         let _span = obs::span!(obs::names::STREAM_DRAIN);
         let start_ms = clock.now_ms();
         let before = state.stats();
@@ -121,7 +135,7 @@ impl StreamCollector {
             state.session = session;
             report.frames += frames.len() as u64;
             for frame in &frames {
-                state.ingest(frame, self.config.dedup_replays);
+                state.ingest_with(frame, self.config.dedup_replays, consumer);
             }
             if backlog == 0 {
                 break;

@@ -54,7 +54,9 @@ pub mod state;
 /// Common re-exports.
 pub mod prelude {
     pub use crate::collector::{DrainReport, StreamCollector, StreamConfig};
-    pub use crate::state::{PeerSession, RouterState, StateStore, StreamStats};
+    pub use crate::state::{
+        DeltaConsumer, PeerSession, RouteDelta, RouterState, StateStore, StreamStats,
+    };
 }
 
 pub use prelude::*;

@@ -27,6 +27,78 @@ use looking_glass::api::StreamFrame;
 use looking_glass::snapshot::Snapshot;
 use route_server::events::RibEvent;
 
+/// What one applied [`RibEvent`] changed in the store, expressed so a
+/// consumer can maintain derived state *incrementally*: every variant
+/// carries both the removed ("retract this") and the inserted ("apply
+/// this") sides of the mutation, plus the session context that decides
+/// visibility (a route is visible for a family iff its announcer holds a
+/// session for that family — exactly [`RouterState::to_snapshot`]'s
+/// filter). Borrows point into the store right after the mutation, so
+/// emitting a delta is allocation-free.
+#[derive(Debug)]
+pub enum RouteDelta<'a> {
+    /// A peer session came up or changed families. `routes` is the
+    /// peer's *current* table: routes whose family just gained a session
+    /// became visible, routes whose family just lost one became
+    /// invisible.
+    PeerUp {
+        /// The peer.
+        peer: Asn,
+        /// Session flags before the event (`None`: peer was unknown).
+        prev: Option<PeerSession>,
+        /// Session flags after the event.
+        now: PeerSession,
+        /// The peer's stored table (possibly empty), both families.
+        routes: &'a BTreeMap<Prefix, Route>,
+    },
+    /// A peer went down: its session and whole table were removed.
+    PeerDown {
+        /// The peer.
+        peer: Asn,
+        /// Session flags before the teardown (`None`: no session held).
+        prev: Option<PeerSession>,
+        /// The removed table (the synthesized withdraws), both families.
+        routes: &'a BTreeMap<Prefix, Route>,
+    },
+    /// A route was inserted, possibly replacing one at the same prefix.
+    Announce {
+        /// The announcing peer.
+        peer: Asn,
+        /// The peer's current session flags (`None`: no session — the
+        /// route is invisible until a `PeerUp` arrives).
+        session: Option<PeerSession>,
+        /// The route this announcement replaced, if any.
+        old: Option<&'a Route>,
+        /// The route now stored.
+        new: &'a Route,
+    },
+    /// A stored route was withdrawn. Withdraws that matched nothing emit
+    /// no delta — the store did not change.
+    Withdraw {
+        /// The withdrawing peer.
+        peer: Asn,
+        /// The peer's current session flags.
+        session: Option<PeerSession>,
+        /// The removed route.
+        old: &'a Route,
+    },
+}
+
+/// A consumer of per-event store deltas — the hook incremental analyses
+/// attach to. [`RouterState::apply_with`] calls [`DeltaConsumer::on_delta`]
+/// exactly once per store mutation, *after* the mutation, tagged with the
+/// router's IXP.
+pub trait DeltaConsumer {
+    /// One applied event's delta.
+    fn on_delta(&mut self, ixp: IxpId, delta: &RouteDelta<'_>);
+}
+
+/// The no-op consumer: `()` discards deltas, making the plain
+/// [`RouterState::apply`]/[`RouterState::ingest`] path zero-cost.
+impl DeltaConsumer for () {
+    fn on_delta(&mut self, _ixp: IxpId, _delta: &RouteDelta<'_>) {}
+}
+
 /// A member's session state as observed on the feed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeerSession {
@@ -125,43 +197,101 @@ impl RouterState {
     /// at or below the applied high-water mark is a replayed duplicate
     /// and is skipped; returns whether the event was applied.
     pub fn ingest(&mut self, frame: &StreamFrame, dedup: bool) -> bool {
+        self.ingest_with(frame, dedup, &mut ())
+    }
+
+    /// [`RouterState::ingest`], forwarding each applied event's delta to
+    /// `consumer`. Deduped replays emit no delta — the store did not
+    /// change, so neither does any derived state.
+    pub fn ingest_with(
+        &mut self,
+        frame: &StreamFrame,
+        dedup: bool,
+        consumer: &mut dyn DeltaConsumer,
+    ) -> bool {
         if dedup && frame.seq <= self.cursor {
             self.stats.dupes_dropped += 1;
             return false;
         }
         self.cursor = self.cursor.max(frame.seq);
-        self.apply(&frame.event);
+        self.apply_with(&frame.event, consumer);
         true
     }
 
     /// Apply one event unconditionally (the raw event path; dedup and
     /// cursor bookkeeping are [`RouterState::ingest`]'s job).
     pub fn apply(&mut self, event: &RibEvent) {
+        self.apply_with(event, &mut ())
+    }
+
+    /// [`RouterState::apply`], forwarding the mutation's [`RouteDelta`]
+    /// to `consumer` after the store has changed.
+    pub fn apply_with(&mut self, event: &RibEvent, consumer: &mut dyn DeltaConsumer) {
         self.stats.applied += 1;
         match event {
             RibEvent::PeerUp { peer, ipv4, ipv6 } => {
-                self.peers.insert(
-                    *peer,
-                    PeerSession {
-                        ipv4: *ipv4,
-                        ipv6: *ipv6,
+                let now = PeerSession {
+                    ipv4: *ipv4,
+                    ipv6: *ipv6,
+                };
+                let prev = self.peers.insert(*peer, now);
+                let empty = BTreeMap::new();
+                let routes = self.routes.get(peer).unwrap_or(&empty);
+                consumer.on_delta(
+                    self.ixp,
+                    &RouteDelta::PeerUp {
+                        peer: *peer,
+                        prev,
+                        now,
+                        routes,
                     },
                 );
             }
             RibEvent::PeerDown { peer } => {
-                self.peers.remove(peer);
-                let removed = self.routes.remove(peer).map(|t| t.len()).unwrap_or(0);
-                self.stats.synth_withdraws += removed as u64;
+                let prev = self.peers.remove(peer);
+                let removed = self.routes.remove(peer);
+                let empty = BTreeMap::new();
+                let routes = removed.as_ref().unwrap_or(&empty);
+                self.stats.synth_withdraws += routes.len() as u64;
+                consumer.on_delta(
+                    self.ixp,
+                    &RouteDelta::PeerDown {
+                        peer: *peer,
+                        prev,
+                        routes,
+                    },
+                );
             }
             RibEvent::Announce { peer, route } => {
-                self.routes
+                let old = self
+                    .routes
                     .entry(*peer)
                     .or_default()
                     .insert(route.prefix, route.clone());
+                consumer.on_delta(
+                    self.ixp,
+                    &RouteDelta::Announce {
+                        peer: *peer,
+                        session: self.peers.get(peer).copied(),
+                        old: old.as_ref(),
+                        new: route,
+                    },
+                );
             }
             RibEvent::Withdraw { peer, prefix } => {
-                if let Some(table) = self.routes.get_mut(peer) {
-                    table.remove(prefix);
+                let old = self
+                    .routes
+                    .get_mut(peer)
+                    .and_then(|table| table.remove(prefix));
+                if let Some(old) = old {
+                    consumer.on_delta(
+                        self.ixp,
+                        &RouteDelta::Withdraw {
+                            peer: *peer,
+                            session: self.peers.get(peer).copied(),
+                            old: &old,
+                        },
+                    );
                 }
             }
         }

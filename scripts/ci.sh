@@ -59,6 +59,23 @@ if [[ "$fast" -eq 0 ]]; then
     STREAM_DAYS="${STREAM_DAYS:-12}" target/release/repro stream >/dev/null
 fi
 
+# Incremental/batch report equivalence oracle plus the perf bar. The
+# golden test replays an 84-day chaotic dual campaign and requires the
+# incremental engine's per-day report — updated O(churn) per RibEvent —
+# to serialize byte-identical to the batch recompute over the same
+# end-of-day snapshot, at PAR_THREADS=1 and 4 (divergence dumps land
+# under target/incremental-divergence/). The repro drive then re-checks
+# the per-day verdicts end-to-end and enforces the issue's bar: the
+# incremental day update must be >=10x faster than the batch recompute
+# (exit nonzero below the bar; BENCH_10.json records the measured gap).
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> incremental equivalence (84-day golden, release)"
+    cargo test -q --release --test incremental_equivalence
+    echo "==> repro stream --incremental (>=10x day-update speedup gate)"
+    STREAM_DAYS="${STREAM_DAYS:-12}" STREAM_SCALE="${STREAM_SCALE:-0.05}" \
+        INCREMENTAL_MIN_SPEEDUP=10 target/release/repro stream --incremental >/dev/null
+fi
+
 # Bench-regression gate, smoke flavor: tiny measuring windows and few
 # iterations (BENCH_SMOKE=1), with correspondingly wide tolerance bands —
 # catches 2x-class regressions against the committed BENCH_5.json in
